@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Section V, printed as aligned text tables (see EXPERIMENTS.md
+// for the mapping and the recorded results).
+//
+// Usage:
+//
+//	experiments                  # run everything, full profile
+//	experiments -quick           # fast profile (small stand-ins, small p)
+//	experiments -only fig6,fig9  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use the fast profile (small graphs, small processor counts)")
+		only   = flag.String("only", "", "comma-separated experiments to run (default all): "+strings.Join(expt.Names, ","))
+		csvDir = flag.String("csv", "", "also write each table as a CSV file into this directory")
+	)
+	flag.Parse()
+
+	profile := expt.Full()
+	if *quick {
+		profile = expt.Quick()
+	}
+	names := expt.Names
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		t0 := time.Now()
+		tables, err := expt.Tables(name, profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for i, tbl := range tables {
+			tbl.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, name, i, tbl); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+// writeCSV stores one table as <dir>/<experiment>[-<index>].csv.
+func writeCSV(dir, name string, idx int, tbl *expt.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file := name
+	if idx > 0 {
+		file = fmt.Sprintf("%s-%d", name, idx)
+	}
+	f, err := os.Create(filepath.Join(dir, file+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

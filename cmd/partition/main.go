@@ -1,0 +1,101 @@
+// Command partition analyzes graph partitionings without running any
+// clustering: per-rank edge and ghost distributions, the workload imbalance
+// W = max/avg − 1, and hub statistics, for 1D and delegate partitioning
+// across a sweep of processor counts (the paper's Figure 6 as a tool).
+//
+//	partition -gen rmat:scale=14 -procs 256,1024,4096
+//	partition -graph web.txt -procs 64 -dhigh 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to a graph file (.txt edge list, .bin, or .metis)")
+		genSpec   = flag.String("gen", "", "generator spec (see internal/gen.ParseSpec)")
+		procsArg  = flag.String("procs", "64,256,1024", "comma-separated processor counts")
+		dhigh     = flag.Int("dhigh", 0, "hub degree threshold (0 = 2× average degree)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *genSpec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d, avg degree %.1f\n\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree(),
+		float64(g.NumArcs())/float64(g.NumVertices()))
+
+	threshold := *dhigh
+	if threshold <= 0 {
+		threshold = 2 * int(g.NumArcs()) / g.NumVertices()
+	}
+
+	var procs []int
+	for _, s := range strings.Split(*procsArg, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fatal(fmt.Errorf("bad processor count %q", s))
+		}
+		procs = append(procs, p)
+	}
+
+	fmt.Printf("%-6s %-9s %10s %10s %10s %8s %10s %6s\n",
+		"p", "kind", "min edges", "med edges", "max edges", "W", "max ghosts", "hubs")
+	for _, p := range procs {
+		for _, kind := range []partition.Kind{partition.OneD, partition.Delegate} {
+			l, err := partition.Build(g, partition.Options{P: p, Kind: kind, DHigh: threshold})
+			if err != nil {
+				fatal(err)
+			}
+			c := l.Census()
+			arcs := append([]int64(nil), c.ArcsPerRank...)
+			sort.Slice(arcs, func(i, j int) bool { return arcs[i] < arcs[j] })
+			fmt.Printf("%-6d %-9s %10d %10d %10d %8.3f %10d %6d\n",
+				p, kind, arcs[0], arcs[len(arcs)/2], arcs[len(arcs)-1],
+				c.ImbalanceW(), c.MaxGhosts(), c.HubCount)
+		}
+	}
+}
+
+func loadGraph(path, spec string) (*graph.Graph, error) {
+	switch {
+	case path != "" && spec != "":
+		return nil, fmt.Errorf("pass either -graph or -gen, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch {
+		case strings.HasSuffix(path, ".bin"):
+			return graph.ReadBinary(f)
+		case strings.HasSuffix(path, ".metis"):
+			return graph.ReadMETIS(f)
+		default:
+			return graph.ReadEdgeList(f)
+		}
+	case spec != "":
+		g, _, err := gen.ParseSpec(spec)
+		return g, err
+	default:
+		return nil, fmt.Errorf("pass -graph FILE or -gen SPEC")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partition:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command quality compares two membership files (as written by
+// cmd/dlouvain -o and cmd/gengraph -truth) with the paper's Table II
+// measures.
+//
+//	quality -a detected.communities -b truth.communities
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/quality"
+)
+
+func main() {
+	var (
+		aPath = flag.String("a", "", "first membership file (vertex community per line)")
+		bPath = flag.String("b", "", "second membership file (typically the ground truth)")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" {
+		fmt.Fprintln(os.Stderr, "quality: -a FILE and -b FILE are required")
+		os.Exit(2)
+	}
+	a, err := readMembership(*aPath)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := readMembership(*bPath)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := quality.Compare(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vertices: %d   communities: %d vs %d\n",
+		len(a), a.NumCommunities(), b.NumCommunities())
+	fmt.Printf("NMI       %.4f\n", s.NMI)
+	fmt.Printf("F-measure %.4f\n", s.FMeasure)
+	fmt.Printf("NVD       %.4f (distance: lower is better)\n", s.NVD)
+	fmt.Printf("RI        %.4f\n", s.RI)
+	fmt.Printf("ARI       %.4f\n", s.ARI)
+	fmt.Printf("JI        %.4f\n", s.JI)
+	v, err := quality.VMeasure(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("homogeneity %.4f  completeness %.4f  V %.4f\n",
+		v.Homogeneity, v.Completeness, v.V)
+}
+
+// readMembership parses "vertex community" lines into a dense membership.
+func readMembership(path string) (graph.Membership, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	labels := map[int]int{}
+	maxV := -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var v, c int
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if _, err := fmt.Sscanf(text, "%d %d", &v, &c); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("%s:%d: negative vertex %d", path, line, v)
+		}
+		labels[v] = c
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m := make(graph.Membership, maxV+1)
+	for v := range m {
+		c, ok := labels[v]
+		if !ok {
+			return nil, fmt.Errorf("%s: vertex %d missing", path, v)
+		}
+		m[v] = c
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quality:", err)
+	os.Exit(1)
+}

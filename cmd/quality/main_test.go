@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReadMembership(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "m.txt", "0 5\n1 5\n2 7\n")
+	m, err := readMembership(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0] != 5 || m[2] != 7 {
+		t.Errorf("m = %v", m)
+	}
+}
+
+func TestReadMembershipErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"gap.txt": "0 1\n2 1\n", // vertex 1 missing
+		"neg.txt": "-1 0\n",
+		"bad.txt": "x y\n",
+	} {
+		p := writeFile(t, dir, name, content)
+		if _, err := readMembership(p); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := readMembership(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A Scalable
+// Distributed Louvain Algorithm for Large-scale Graph Community Detection"
+// (Zeng & Yu, IEEE CLUSTER 2018).
+//
+// The library lives under internal/: the distributed algorithm (core), the
+// delegate partitioner (partition), the message-passing substrate (comm),
+// graph structures and generators (graph, gen), the sequential baseline
+// (louvain), clustering-quality measures (quality), and the experiment
+// harness that regenerates every table and figure of the paper (expt).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate each experiment via "go test -bench".
+package repro

@@ -1,0 +1,325 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Collectives built on point-to-point messaging. All ranks of the world must
+// call the same collective in the same order (bulk-synchronous usage), as
+// with MPI.
+
+// Barrier blocks until every rank has entered it (dissemination barrier,
+// ⌈log₂ p⌉ rounds).
+func Barrier(c Comm) error {
+	p := c.Size()
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.Rank() + k) % p
+		src := (c.Rank() - k%p + p) % p
+		if err := c.Send(dst, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(src, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank via a binomial tree and
+// returns it. Non-root ranks pass data=nil (any input on non-roots is
+// ignored).
+func Bcast(c Comm, root int, data []byte) ([]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	p := c.Size()
+	// Work in a rotated rank space where the root is 0.
+	vrank := (c.Rank() - root + p) % p
+	if vrank != 0 {
+		// Receive from parent: clear the lowest set bit.
+		parent := (vrank&(vrank-1) + root) % p
+		got, err := c.Recv(parent, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	}
+	// Forward to children: set each bit above the lowest set bit while in range.
+	lowest := vrank & (-vrank)
+	if vrank == 0 {
+		lowest = 1 << 62
+	}
+	for bit := 1; bit < p && bit < lowest; bit <<= 1 {
+		child := vrank | bit
+		if child < p && child != vrank {
+			if err := c.Send((child+root)%p, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// AllreduceBytes combines every rank's payload with a user-supplied
+// associative, commutative combine function; every rank returns the same
+// combined result. The implementation folds non-power-of-two ranks into the
+// largest power-of-two subgroup, runs recursive doubling there, and unfolds.
+func AllreduceBytes(c Comm, data []byte, combine func(a, b []byte) []byte) ([]byte, error) {
+	p := c.Size()
+	if p == 1 {
+		return data, nil
+	}
+	r := c.Rank()
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	rem := p - pow2
+	// Fold: ranks >= pow2 send to (rank - pow2) and wait for the result.
+	if r >= pow2 {
+		if err := c.Send(r-pow2, tagReduce, data); err != nil {
+			return nil, err
+		}
+		out, err := c.Recv(r-pow2, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if r < rem {
+		other, err := c.Recv(r+pow2, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		data = combine(data, other)
+	}
+	// Recursive doubling within [0, pow2).
+	for mask := 1; mask < pow2; mask <<= 1 {
+		partner := r ^ mask
+		if err := c.Send(partner, tagReduce, data); err != nil {
+			return nil, err
+		}
+		other, err := c.Recv(partner, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		data = combine(data, other)
+	}
+	// Unfold.
+	if r < rem {
+		if err := c.Send(r+pow2, tagReduce, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// AllreduceBytesRing is a ring-based alternative to AllreduceBytes: each
+// rank forwards the running combination around a ring (p−1 steps), then the
+// final value is broadcast from the last rank. Latency is O(p) instead of
+// O(log p), but each step moves only one message; the ablation benchmarks
+// compare the two. combine must be associative and commutative.
+func AllreduceBytesRing(c Comm, data []byte, combine func(a, b []byte) []byte) ([]byte, error) {
+	p := c.Size()
+	if p == 1 {
+		return data, nil
+	}
+	r := c.Rank()
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	// Reduce phase: rank 0 starts; everyone else combines and forwards.
+	if r != 0 {
+		got, err := c.Recv(prev, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		data = combine(data, got)
+	}
+	if err := c.Send(next, tagReduce, data); err != nil {
+		return nil, err
+	}
+	if r == 0 {
+		// The value arriving from the last rank already covers every rank
+		// (rank 0's own contribution entered the ring at the first step).
+		got, err := c.Recv(prev, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	} else {
+		// Everyone already forwarded; now take the final value as it
+		// circulates back.
+		got, err := c.Recv(prev, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	}
+	// One more forwarding round distributes the final value; the last rank
+	// before rank 0 must not send back into rank 0's reduce stream.
+	if r != p-1 {
+		if err := c.Send(next, tagReduce, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// AllreduceFloat64Sum returns the sum of v across all ranks.
+func AllreduceFloat64Sum(c Comm, v float64) (float64, error) {
+	buf := wire.NewBuffer(8)
+	buf.PutF64(v)
+	out, err := AllreduceBytes(c, buf.Bytes(), func(a, b []byte) []byte {
+		ra, rb := wire.NewReader(a), wire.NewReader(b)
+		s := wire.NewBuffer(8)
+		s.PutF64(ra.F64() + rb.F64())
+		return s.Bytes()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewReader(out).F64(), nil
+}
+
+// AllreduceInt64Sum returns the sum of v across all ranks.
+func AllreduceInt64Sum(c Comm, v int64) (int64, error) {
+	buf := wire.NewBuffer(8)
+	buf.PutI64(v)
+	out, err := AllreduceBytes(c, buf.Bytes(), func(a, b []byte) []byte {
+		ra, rb := wire.NewReader(a), wire.NewReader(b)
+		s := wire.NewBuffer(8)
+		s.PutI64(ra.I64() + rb.I64())
+		return s.Bytes()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewReader(out).I64(), nil
+}
+
+// AllreduceInt64Max returns the maximum of v across all ranks.
+func AllreduceInt64Max(c Comm, v int64) (int64, error) {
+	buf := wire.NewBuffer(8)
+	buf.PutI64(v)
+	out, err := AllreduceBytes(c, buf.Bytes(), func(a, b []byte) []byte {
+		ra, rb := wire.NewReader(a), wire.NewReader(b)
+		va, vb := ra.I64(), rb.I64()
+		if vb > va {
+			va = vb
+		}
+		s := wire.NewBuffer(8)
+		s.PutI64(va)
+		return s.Bytes()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return wire.NewReader(out).I64(), nil
+}
+
+// AllreduceFloat64SliceSum element-wise sums a fixed-length vector across
+// ranks; every rank must pass the same length.
+func AllreduceFloat64SliceSum(c Comm, vs []float64) ([]float64, error) {
+	buf := wire.NewBuffer(len(vs)*8 + 8)
+	buf.PutF64s(vs)
+	out, err := AllreduceBytes(c, buf.Bytes(), func(a, b []byte) []byte {
+		va := wire.NewReader(a).F64s()
+		vb := wire.NewReader(b).F64s()
+		if len(va) != len(vb) {
+			panic(fmt.Sprintf("comm: allreduce slice length mismatch %d vs %d", len(va), len(vb)))
+		}
+		for i := range va {
+			va[i] += vb[i]
+		}
+		s := wire.NewBuffer(len(va)*8 + 8)
+		s.PutF64s(va)
+		return s.Bytes()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewReader(out).F64s(), nil
+}
+
+// Allgather collects every rank's payload; the result slice is indexed by
+// rank and identical on all ranks. Ring algorithm, p−1 steps.
+func Allgather(c Comm, mine []byte) ([][]byte, error) {
+	p := c.Size()
+	r := c.Rank()
+	out := make([][]byte, p)
+	cp := make([]byte, len(mine))
+	copy(cp, mine)
+	out[r] = cp
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	carry := cp
+	for step := 0; step < p-1; step++ {
+		if err := c.Send(next, tagAllgather, carry); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(prev, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		srcRank := (r - 1 - step + 2*p) % p
+		out[srcRank] = got
+		carry = got
+	}
+	return out, nil
+}
+
+// Alltoallv performs a personalized all-to-all exchange: out[i] is sent to
+// rank i, and the returned slice holds in[i] received from rank i. out must
+// have length Size(); out[Rank()] is returned unchanged (copied).
+func Alltoallv(c Comm, out [][]byte) ([][]byte, error) {
+	p := c.Size()
+	if len(out) != p {
+		return nil, fmt.Errorf("comm: Alltoallv needs %d buffers, got %d", p, len(out))
+	}
+	r := c.Rank()
+	in := make([][]byte, p)
+	self := make([]byte, len(out[r]))
+	copy(self, out[r])
+	in[r] = self
+	for step := 1; step < p; step++ {
+		dst := (r + step) % p
+		src := (r - step + p) % p
+		if err := c.Send(dst, tagAlltoallv, out[dst]); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(src, tagAlltoallv)
+		if err != nil {
+			return nil, err
+		}
+		in[src] = got
+	}
+	return in, nil
+}
+
+// Gather collects every rank's payload at root; non-root ranks return nil.
+func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
+	if err := checkPeer(c, root); err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, c.Send(root, tagGather, mine)
+	}
+	p := c.Size()
+	out := make([][]byte, p)
+	cp := make([]byte, len(mine))
+	copy(cp, mine)
+	out[root] = cp
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		got, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}

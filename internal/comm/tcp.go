@@ -1,0 +1,308 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: each rank listens on its own address and keeps one
+// connection per peer (the lower rank dials the higher rank). Frames are
+// length-prefixed:
+//
+//	[tag int64][payloadLen uint32][payload]
+//
+// A reader goroutine per connection demultiplexes frames into the same
+// mailbox structure the in-process transport uses; a writer goroutine per
+// connection drains an unbounded queue so Send never blocks on TCP
+// backpressure (preventing collective deadlock).
+
+const tcpHandshakeMagic = uint32(0xC0117EC7)
+
+// TCPEndpoint is a Comm backed by TCP connections to all peers.
+type TCPEndpoint struct {
+	rank, size int
+	stats      Stats
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inbox    []inprocMessage
+	conns    []*tcpConn // indexed by peer rank; nil at own rank
+	peerDown []error    // per-peer transport error (EOF = normal shutdown)
+
+	listener net.Listener
+	closed   bool
+}
+
+type tcpConn struct {
+	c    net.Conn
+	mu   sync.Mutex
+	q    [][]byte // pending frames
+	nw   *sync.Cond
+	done chan struct{} // closed when the writer goroutine exits
+}
+
+func (t *TCPEndpoint) Rank() int     { return t.rank }
+func (t *TCPEndpoint) Size() int     { return t.size }
+func (t *TCPEndpoint) Stats() *Stats { return &t.stats }
+
+// DialTCPWorld joins a TCP world. addrs[i] is the listen address of rank i;
+// the caller is rank myRank and must be the only process using that slot.
+// The function listens, connects the full mesh (lower rank dials higher),
+// and returns once all peers are connected. Close the endpoint when done.
+func DialTCPWorld(myRank int, addrs []string) (*TCPEndpoint, error) {
+	p := len(addrs)
+	if myRank < 0 || myRank >= p {
+		return nil, fmt.Errorf("comm: rank %d out of range [0,%d)", myRank, p)
+	}
+	ep := &TCPEndpoint{rank: myRank, size: p, conns: make([]*tcpConn, p), peerDown: make([]error, p)}
+	ep.cond = sync.NewCond(&ep.mu)
+
+	ln, err := net.Listen("tcp", addrs[myRank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen %s: %w", myRank, addrs[myRank], err)
+	}
+	ep.listener = ln
+
+	var wg sync.WaitGroup
+	var connectErr error
+	var errOnce sync.Once
+	fail := func(e error) { errOnce.Do(func() { connectErr = e }) }
+
+	// Accept connections from all lower ranks.
+	lower := myRank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < lower; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				fail(fmt.Errorf("comm: rank %d accept: %w", myRank, err))
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				fail(fmt.Errorf("comm: rank %d handshake read: %w", myRank, err))
+				return
+			}
+			if binary.LittleEndian.Uint32(hdr[:4]) != tcpHandshakeMagic {
+				fail(fmt.Errorf("comm: rank %d bad handshake magic", myRank))
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[4:]))
+			if peer < 0 || peer >= myRank {
+				fail(fmt.Errorf("comm: rank %d unexpected peer %d", myRank, peer))
+				return
+			}
+			ep.attach(peer, conn)
+		}
+	}()
+
+	// Dial all higher ranks (with retries while peers start their listeners).
+	for peer := myRank + 1; peer < p; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				conn, err = net.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					fail(fmt.Errorf("comm: rank %d dial rank %d (%s): %w", myRank, peer, addrs[peer], err))
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[:4], tcpHandshakeMagic)
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(myRank))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				fail(fmt.Errorf("comm: rank %d handshake write to %d: %w", myRank, peer, err))
+				return
+			}
+			ep.attach(peer, conn)
+		}(peer)
+	}
+	wg.Wait()
+	if connectErr != nil {
+		ep.Close()
+		return nil, connectErr
+	}
+	return ep, nil
+}
+
+// attach registers a peer connection and starts its reader/writer loops.
+func (t *TCPEndpoint) attach(peer int, c net.Conn) {
+	tc := &tcpConn{c: c, done: make(chan struct{})}
+	tc.nw = sync.NewCond(&tc.mu)
+	t.mu.Lock()
+	t.conns[peer] = tc
+	t.mu.Unlock()
+	go t.readLoop(peer, tc)
+	go t.writeLoop(peer, tc)
+}
+
+func (t *TCPEndpoint) readLoop(peer int, tc *tcpConn) {
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(tc.c, hdr[:]); err != nil {
+			t.markPeerDown(peer, err)
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(tc.c, payload); err != nil {
+			t.markPeerDown(peer, err)
+			return
+		}
+		t.mu.Lock()
+		t.inbox = append(t.inbox, inprocMessage{src: peer, tag: tag, data: payload})
+		t.mu.Unlock()
+		t.cond.Broadcast()
+	}
+}
+
+func (t *TCPEndpoint) writeLoop(peer int, tc *tcpConn) {
+	defer close(tc.done)
+	for {
+		tc.mu.Lock()
+		for len(tc.q) == 0 {
+			tc.nw.Wait()
+		}
+		frame := tc.q[0]
+		tc.q = tc.q[1:]
+		closing := frame == nil
+		tc.mu.Unlock()
+		if closing {
+			tc.c.Close()
+			return
+		}
+		if _, err := tc.c.Write(frame); err != nil {
+			t.markPeerDown(peer, err)
+			return
+		}
+	}
+}
+
+// markPeerDown records a transport failure (or normal EOF at shutdown) for
+// one peer and wakes blocked receivers so Recvs targeting that peer fail.
+func (t *TCPEndpoint) markPeerDown(peer int, err error) {
+	t.mu.Lock()
+	if t.peerDown[peer] == nil {
+		t.peerDown[peer] = err
+	}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// Send enqueues a frame for dst; it never blocks on the network.
+func (t *TCPEndpoint) Send(dst, tag int, data []byte) error {
+	if err := checkPeer(t, dst); err != nil {
+		return err
+	}
+	if dst == t.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		t.mu.Lock()
+		t.inbox = append(t.inbox, inprocMessage{src: t.rank, tag: tag, data: cp})
+		t.mu.Unlock()
+		t.cond.Broadcast()
+		t.stats.recordSend(dst, len(data))
+		return nil
+	}
+	t.mu.Lock()
+	tc := t.conns[dst]
+	err := t.peerDown[dst]
+	t.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("comm: rank %d peer %d down: %w", t.rank, dst, err)
+	}
+	if tc == nil {
+		return fmt.Errorf("comm: rank %d has no connection to %d", t.rank, dst)
+	}
+	frame := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint64(frame[:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(data)))
+	copy(frame[12:], data)
+	tc.mu.Lock()
+	tc.q = append(tc.q, frame)
+	tc.mu.Unlock()
+	tc.nw.Signal()
+	t.stats.recordSend(dst, len(data))
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives, or the
+// transport fails.
+func (t *TCPEndpoint) Recv(src, tag int) ([]byte, error) {
+	if err := checkPeer(t, src); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		for i := range t.inbox {
+			m := t.inbox[i]
+			if m.src == src && m.tag == tag {
+				t.inbox = append(t.inbox[:i], t.inbox[i+1:]...)
+				t.stats.recordRecv(len(m.data))
+				return m.data, nil
+			}
+		}
+		if src != t.rank && t.peerDown[src] != nil {
+			return nil, fmt.Errorf("comm: rank %d peer %d down: %w", t.rank, src, t.peerDown[src])
+		}
+		if t.closed {
+			return nil, fmt.Errorf("comm: endpoint closed")
+		}
+		t.cond.Wait()
+	}
+}
+
+// Close shuts down the endpoint: the listener stops and all peer
+// connections are closed after their queued frames drain.
+func (t *TCPEndpoint) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpConn, len(t.conns))
+	copy(conns, t.conns)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	for _, tc := range conns {
+		if tc == nil {
+			continue
+		}
+		tc.mu.Lock()
+		tc.q = append(tc.q, nil) // nil frame = close sentinel
+		tc.mu.Unlock()
+		tc.nw.Signal()
+	}
+	// Wait for the writers to drain their queues so frames sent just
+	// before Close (e.g. a final gather) reach the peers even if the
+	// process exits immediately afterwards.
+	for _, tc := range conns {
+		if tc == nil {
+			continue
+		}
+		select {
+		case <-tc.done:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	return nil
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/wire"
+)
+
+func TestCombineHubProposalsPicksMaxAndTieBreaks(t *testing.T) {
+	enc := func(props ...hubProposal) []byte {
+		b := wire.NewBuffer(0)
+		for _, p := range props {
+			b.PutF64(p.improvement)
+			b.PutVarint(int64(p.target))
+		}
+		return b.Bytes()
+	}
+	a := enc(hubProposal{1.0, 5}, hubProposal{negInf, 9}, hubProposal{0.5, 3})
+	b := enc(hubProposal{2.0, 7}, hubProposal{0.1, 2}, hubProposal{0.5, 1})
+	out := combineHubProposals(a, b)
+	rd := wire.NewReader(out)
+	// hub 0: b wins on improvement
+	if imp, tgt := rd.F64(), rd.Varint(); imp != 2.0 || tgt != 7 {
+		t.Errorf("hub 0: (%g,%d)", imp, tgt)
+	}
+	// hub 1: a had -Inf, b wins
+	if imp, tgt := rd.F64(), rd.Varint(); imp != 0.1 || tgt != 2 {
+		t.Errorf("hub 1: (%g,%d)", imp, tgt)
+	}
+	// hub 2: tie on improvement, smaller target wins
+	if imp, tgt := rd.F64(), rd.Varint(); imp != 0.5 || tgt != 1 {
+		t.Errorf("hub 2: (%g,%d)", imp, tgt)
+	}
+	if rd.Err() != nil || rd.Remaining() != 0 {
+		t.Fatalf("decode: err=%v rem=%d", rd.Err(), rd.Remaining())
+	}
+}
+
+func TestCombineHubProposalsCommutative(t *testing.T) {
+	enc := func(props ...hubProposal) []byte {
+		b := wire.NewBuffer(0)
+		for _, p := range props {
+			b.PutF64(p.improvement)
+			b.PutVarint(int64(p.target))
+		}
+		return b.Bytes()
+	}
+	a := enc(hubProposal{1.5, 4}, hubProposal{0.0, 8})
+	b := enc(hubProposal{1.5, 2}, hubProposal{-1.0, 6})
+	ab := combineHubProposals(a, b)
+	ba := combineHubProposals(b, a)
+	if string(ab) != string(ba) {
+		t.Error("combine is not commutative")
+	}
+}
+
+func TestResolveQueries(t *testing.T) {
+	err := comm.RunWorld(4, func(c comm.Comm) error {
+		// lookup(x) = x*10 computed at owner x%4
+		queries := []int{c.Rank(), 7, 0, 13, c.Rank() + 4}
+		res, err := resolveQueries(c, queries, func(x int) int { return x * 10 })
+		if err != nil {
+			return err
+		}
+		for i, x := range queries {
+			if res[i] != x*10 {
+				t.Errorf("rank %d: res[%d] = %d, want %d", c.Rank(), i, res[i], x*10)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveQueriesEmpty(t *testing.T) {
+	err := comm.RunWorld(3, func(c comm.Comm) error {
+		res, err := resolveQueries(c, nil, func(x int) int { return x })
+		if err != nil {
+			return err
+		}
+		if len(res) != 0 {
+			t.Errorf("res = %v", res)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	opt, err := Options{P: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MinGain != 1e-6 || opt.MaxInnerIters != 100 || opt.DHigh != 4 {
+		t.Errorf("defaults: %+v", opt)
+	}
+	if _, err := (Options{}).withDefaults(); err == nil {
+		t.Error("expected error for P = 0")
+	}
+}
+
+func TestRunRankMatchesRun(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(600, 0.25, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, Options{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive RunRank manually over an in-process world and assemble.
+	pieces := make([]*RankResult, 3)
+	err = comm.RunWorld(3, func(c comm.Comm) error {
+		res, err := RunRank(c, g, Options{P: 3})
+		if err != nil {
+			return err
+		}
+		pieces[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(graph.Membership, g.NumVertices())
+	for _, piece := range pieces {
+		for i, u := range piece.Tracked {
+			m[u] = piece.Labels[i]
+		}
+	}
+	m.Normalize()
+	if pieces[0].Modularity != want.Modularity {
+		t.Errorf("RunRank Q = %v, Run Q = %v", pieces[0].Modularity, want.Modularity)
+	}
+	for i := range m {
+		if m[i] != want.Membership[i] {
+			t.Fatal("memberships differ between Run and RunRank")
+		}
+	}
+}
+
+func TestRunRankPMismatch(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.RunWorld(2, func(c comm.Comm) error {
+		_, err := RunRank(c, g, Options{P: 5})
+		if err == nil {
+			t.Error("expected P mismatch error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainAccumulator(t *testing.T) {
+	acc := newGainAccumulator(10)
+	acc.add(3, 1.5)
+	acc.add(7, 2.0)
+	acc.add(3, 0.5)
+	if acc.w[3] != 2.0 || acc.w[7] != 2.0 {
+		t.Errorf("weights: %v", acc.w)
+	}
+	keys := acc.sortedKeys()
+	if len(keys) != 2 || keys[0] != 3 || keys[1] != 7 {
+		t.Errorf("keys: %v", keys)
+	}
+	acc.reset()
+	if acc.w[3] != 0 || len(acc.keys) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestAllowMoveSemantics(t *testing.T) {
+	mk := func(h Heuristic) *stage {
+		return &stage{opt: Options{Heuristic: h}, p: 4, rnk: 1}
+	}
+	// Enhanced: local targets (owner == rank 1) always allowed.
+	s := mk(HeuristicEnhanced)
+	if !s.allowMove(3, 5) { // 5 % 4 == 1 == rnk, local
+		t.Error("enhanced should allow local move")
+	}
+	if s.allowMove(3, 6) { // remote (6%4=2), 6 > 3 → blocked
+		t.Error("enhanced should block upward remote move")
+	}
+	if !s.allowMove(7, 6) { // remote but downward
+		t.Error("enhanced should allow downward remote move")
+	}
+	// Strict: only downward anywhere.
+	s = mk(HeuristicStrict)
+	if s.allowMove(3, 5) {
+		t.Error("strict should block upward move")
+	}
+	if !s.allowMove(5, 3) {
+		t.Error("strict should allow downward move")
+	}
+	// Simple: anything goes.
+	s = mk(HeuristicSimple)
+	if !s.allowMove(3, 9) || !s.allowMove(9, 3) {
+		t.Error("simple should allow all moves")
+	}
+}
+
+func TestPickEnhancedPreferences(t *testing.T) {
+	s := &stage{opt: Options{Heuristic: HeuristicEnhanced}, p: 4, rnk: 1,
+		size: make([]int32, 20), cached: make([]bool, 20)}
+	// candidates sorted ascending; 5 and 9 are local (≡1 mod 4), 6 remote.
+	if got := s.pickEnhanced([]int{6, 9}); got != 9 {
+		t.Errorf("local preference: got %d, want 9", got)
+	}
+	// no local: remote multi-member (size>1) preferred over smaller singleton
+	s.cached[6] = true
+	s.size[6] = 3
+	s.cached[2] = true
+	s.size[2] = 1
+	if got := s.pickEnhanced([]int{2, 6}); got != 6 {
+		t.Errorf("multi-member preference: got %d, want 6", got)
+	}
+	// only singletons: min label
+	if got := s.pickEnhanced([]int{2, 10}); got != 2 {
+		t.Errorf("singleton min label: got %d, want 2", got)
+	}
+}
+
+func TestStageInvariantChecker(t *testing.T) {
+	// The debug invariant checker must pass on a healthy run.
+	debugInvariants = true
+	defer func() { debugInvariants = false }()
+	g, _, err := gen.LFR(gen.DefaultLFR(300, 0.25, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Modularity) {
+		t.Fatal("NaN modularity")
+	}
+}
+
+func TestCommModelCost(t *testing.T) {
+	m := CommModel{LatencyNS: 1000, BytesPerNS: 10}
+	// 3 messages, 5000 bytes: 3*1000 + 5000/10 = 3500 ns.
+	if got := m.costNS(3, 5000); got != 3500 {
+		t.Errorf("costNS = %d, want 3500", got)
+	}
+	if got := m.costNS(0, 0); got != 0 {
+		t.Errorf("costNS(0,0) = %d", got)
+	}
+}
+
+func TestCommSimPopulated(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(400, 0.25, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stage1CommSim <= 0 {
+		t.Error("Stage1CommSim not recorded")
+	}
+	// A slower fabric must cost more simulated comm time.
+	slow, err := Run(g, Options{P: 4, Comm: CommModel{LatencyNS: 100000, BytesPerNS: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Stage1CommSim <= res.Stage1CommSim {
+		t.Errorf("slow fabric comm sim %v <= default %v", slow.Stage1CommSim, res.Stage1CommSim)
+	}
+	// Compute sim must be unaffected by the comm model.
+	if slow.Stage1Sim != res.Stage1Sim {
+		t.Errorf("comm model changed compute sim: %v vs %v", slow.Stage1Sim, res.Stage1Sim)
+	}
+}
+
+func TestMergeConservesWeightAndModularity(t *testing.T) {
+	// Drive one stage + merge directly over an in-process world and verify
+	// the merged distributed graph conserves 2m and represents the same
+	// partition quality.
+	g, _, err := gen.LFR(gen.DefaultLFR(400, 0.25, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 4
+	layout, err := partition.Build(g, partition.Options{P: p, Kind: partition.Delegate, DHigh: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]float64, p)
+	weights := make([]float64, p)
+	counts := make([]int, p)
+	opt, err := Options{P: p}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.RunWorld(p, func(c comm.Comm) error {
+		st := newStage(c, layout.Parts[c.Rank()], opt)
+		res, err := st.cluster()
+		if err != nil {
+			return err
+		}
+		newSG, k, err := st.merge()
+		if err != nil {
+			return err
+		}
+		qs[c.Rank()] = res.Q
+		counts[c.Rank()] = k
+		var local float64
+		for _, wd := range newSG.OwnedWDeg {
+			local += wd
+		}
+		weights[c.Rank()] = local
+		// Every owned coarse vertex must be consistent with k.
+		for _, v := range newSG.Owned {
+			if v < 0 || v >= k {
+				t.Errorf("rank %d owns out-of-range coarse vertex %d (k=%d)", c.Rank(), v, k)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	if math.Abs(totalW-g.TotalWeight2()) > 1e-6 {
+		t.Errorf("merged 2m = %g, want %g", totalW, g.TotalWeight2())
+	}
+	for r := 1; r < p; r++ {
+		if counts[r] != counts[0] || qs[r] != qs[0] {
+			t.Errorf("rank %d disagrees: k=%d q=%g vs k=%d q=%g", r, counts[r], qs[r], counts[0], qs[0])
+		}
+	}
+	if counts[0] <= 1 || counts[0] >= g.NumVertices() {
+		t.Errorf("merge produced %d communities from %d vertices", counts[0], g.NumVertices())
+	}
+}

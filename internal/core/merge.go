@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/wire"
+)
+
+// merge implements the paper's distributed graph merging (Algorithm 3):
+// communities become the vertices of a coarser graph, arcs are translated
+// to community IDs and shipped to the new owners (1D partitioning by
+// new-ID mod P), and each rank assembles its portion of the merged graph.
+//
+// Community IDs are first made dense: each community owner numbers its
+// non-empty communities, ranks agree on prefix offsets via an allgather,
+// and the dense mapping is served to any rank that references a community.
+// After merge returns, s.dense holds this mapping for the communities this
+// rank references, which the driver uses to re-point original vertices.
+func (s *stage) merge() (*partition.Subgraph, int, error) {
+	// 1. Dense numbering of non-empty owned communities.
+	var localComms []int
+	for c := s.rnk; c < s.n; c += s.p {
+		if s.ownSize[c] > 0 {
+			localComms = append(localComms, c)
+		}
+	}
+	cntBuf := wire.NewBuffer(8)
+	cntBuf.PutUvarint(uint64(len(localComms)))
+	counts, err := comm.Allgather(s.c, cntBuf.Bytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	base, total := 0, 0
+	for r := 0; r < s.p; r++ {
+		n := int(wire.NewReader(counts[r]).Uvarint())
+		if r < s.rnk {
+			base += n
+		}
+		total += n
+	}
+	denseOf := make(map[int]int32, len(localComms))
+	for i, c := range localComms {
+		denseOf[c] = int32(base + i)
+	}
+
+	// 2. Every rank learns the dense ID of each community it references.
+	reqs := s.neededCommunities()
+	out := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		b := wire.NewBuffer(0)
+		b.PutInts(reqs[r])
+		out[r] = b.Bytes()
+	}
+	in, err := comm.Alltoallv(s.c, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	replies := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(in[r])
+		ids := rd.Ints()
+		if err := rd.Err(); err != nil {
+			return nil, 0, err
+		}
+		b := wire.NewBuffer(0)
+		for _, c := range ids {
+			d, ok := denseOf[c]
+			if !ok {
+				d = -1 // requested an empty community: must not happen for labels in use
+			}
+			b.PutVarint(int64(d))
+		}
+		replies[r] = b.Bytes()
+	}
+	back, err := comm.Alltoallv(s.c, replies)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.dense = make([]int32, s.n)
+	for i := range s.dense {
+		s.dense[i] = -1
+	}
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(back[r])
+		for _, c := range reqs[r] {
+			s.dense[c] = int32(rd.Varint())
+		}
+		if err := rd.Err(); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// 3. Translate and ship arcs to the owners of their new source vertex.
+	arcOut := make([]*wire.Buffer, s.p)
+	for r := 0; r < s.p; r++ {
+		arcOut[r] = wire.NewBuffer(0)
+	}
+	ship := func(u int, adj []partition.Arc) {
+		cu := int(s.dense[s.comm[u]])
+		for _, a := range adj {
+			cv := int(s.dense[s.comm[a.To]])
+			dst := cu % s.p
+			arcOut[dst].PutVarint(int64(cu))
+			arcOut[dst].PutVarint(int64(cv))
+			arcOut[dst].PutF64(a.W)
+		}
+	}
+	for i, u := range s.sg.Owned {
+		ship(u, s.sg.AdjOwned[i])
+	}
+	for i, h := range s.sg.Hubs {
+		ship(h, s.sg.AdjHub[i])
+	}
+	arcBufs := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		arcBufs[r] = arcOut[r].Bytes()
+	}
+	arcIn, err := comm.Alltoallv(s.c, arcBufs)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// 4. Assemble this rank's portion of the merged graph.
+	adj := make(map[int]map[int]float64)
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(arcIn[r])
+		for rd.Remaining() > 0 {
+			cu := int(rd.Varint())
+			cv := int(rd.Varint())
+			w := rd.F64()
+			m := adj[cu]
+			if m == nil {
+				m = make(map[int]float64)
+				adj[cu] = m
+			}
+			m[cv] += w
+		}
+		if err := rd.Err(); err != nil {
+			return nil, 0, err
+		}
+	}
+	ns := &partition.Subgraph{
+		Rank: s.rnk, P: s.p,
+		GlobalVertices: total,
+		Subscribers:    make(map[int][]int),
+		TotalWeight2:   s.m2,
+	}
+	ghostSet := make(map[int]struct{})
+	for v := s.rnk; v < total; v += s.p {
+		ns.Owned = append(ns.Owned, v)
+		targets := adj[v]
+		keys := make([]int, 0, len(targets))
+		for t := range targets {
+			keys = append(keys, t)
+		}
+		sort.Ints(keys)
+		arcs := make([]partition.Arc, len(keys))
+		var wdeg float64
+		subSet := make(map[int]struct{})
+		for i, t := range keys {
+			arcs[i] = partition.Arc{To: t, W: targets[t]}
+			wdeg += targets[t]
+			to := t % s.p
+			if to != s.rnk {
+				ghostSet[t] = struct{}{}
+				subSet[to] = struct{}{}
+			}
+		}
+		ns.AdjOwned = append(ns.AdjOwned, arcs)
+		ns.OwnedWDeg = append(ns.OwnedWDeg, wdeg)
+		if len(subSet) > 0 {
+			subs := make([]int, 0, len(subSet))
+			for r := range subSet {
+				subs = append(subs, r)
+			}
+			sort.Ints(subs)
+			ns.Subscribers[v] = subs
+		}
+	}
+	ns.Ghosts = make([]int, 0, len(ghostSet))
+	for v := range ghostSet {
+		ns.Ghosts = append(ns.Ghosts, v)
+	}
+	sort.Ints(ns.Ghosts)
+	return ns, total, nil
+}
+
+// resolveQueries maps each query x to lookup(x) evaluated on the rank that
+// owns x (x mod P), via a request/reply all-to-all exchange.
+func resolveQueries(c comm.Comm, queries []int, lookup func(int) int) ([]int, error) {
+	p := c.Size()
+	reqs := make([][]int, p)
+	pos := make([][]int, p) // original index of each routed query
+	for i, x := range queries {
+		o := x % p
+		reqs[o] = append(reqs[o], x)
+		pos[o] = append(pos[o], i)
+	}
+	out := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		b := wire.NewBuffer(0)
+		b.PutInts(reqs[r])
+		out[r] = b.Bytes()
+	}
+	in, err := comm.Alltoallv(c, out)
+	if err != nil {
+		return nil, err
+	}
+	replies := make([][]byte, p)
+	for r := 0; r < p; r++ {
+		rd := wire.NewReader(in[r])
+		ids := rd.Ints()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		b := wire.NewBuffer(0)
+		for _, x := range ids {
+			b.PutVarint(int64(lookup(x)))
+		}
+		replies[r] = b.Bytes()
+	}
+	back, err := comm.Alltoallv(c, replies)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]int, len(queries))
+	for r := 0; r < p; r++ {
+		rd := wire.NewReader(back[r])
+		for _, i := range pos[r] {
+			res[i] = int(rd.Varint())
+		}
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

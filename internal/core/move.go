@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// gainEps is the tolerance under which two modularity gains count as equal
+// (the tie case the convergence heuristics arbitrate).
+const gainEps = 1e-12
+
+// sweep performs one greedy local-moving pass over the rank's owned low
+// vertices (applied immediately, Gauss-Seidel within the rank) and computes
+// this rank's move proposal for every hub from its local share of hub arcs.
+// It returns the hub proposals and the number of owned vertices moved.
+func (s *stage) sweep() ([]hubProposal, int) {
+	s.changed = s.changed[:0]
+	moved := 0
+	acc := newGainAccumulator(s.n)
+
+	work := int64(0)
+	for i, u := range s.sg.Owned {
+		ku := s.sg.OwnedWDeg[i]
+		work += int64(len(s.sg.AdjOwned[i])) + 4
+		target, ok := s.bestMove(u, ku, s.sg.AdjOwned[i], acc)
+		if !ok {
+			continue
+		}
+		cu := int(s.comm[u])
+		s.comm[u] = int32(target)
+		s.applyLocalMove(cu, target, ku)
+		s.changed = append(s.changed, u)
+		moved++
+	}
+
+	props := make([]hubProposal, len(s.sg.Hubs))
+	for i, h := range s.sg.Hubs {
+		work += int64(len(s.sg.AdjHub[i])) + 1
+		props[i] = s.hubProposal(h, s.sg.HubWDeg[i], s.sg.AdjHub[i], acc)
+	}
+	s.addWork(trace.FindBest, work)
+	return props, moved
+}
+
+// gainAccumulator gathers w(u→c) per neighboring community for one vertex,
+// with O(touched) reset.
+type gainAccumulator struct {
+	w    []float64
+	seen []bool
+	keys []int
+}
+
+func newGainAccumulator(n int) *gainAccumulator {
+	return &gainAccumulator{w: make([]float64, n), seen: make([]bool, n)}
+}
+
+func (g *gainAccumulator) reset() {
+	for _, c := range g.keys {
+		g.w[c] = 0
+		g.seen[c] = false
+	}
+	g.keys = g.keys[:0]
+}
+
+func (g *gainAccumulator) add(c int, w float64) {
+	if !g.seen[c] {
+		g.seen[c] = true
+		g.keys = append(g.keys, c)
+	}
+	g.w[c] += w
+}
+
+// sortedKeys returns the touched communities in ascending label order, so
+// every decision below is deterministic.
+func (g *gainAccumulator) sortedKeys() []int {
+	sort.Ints(g.keys)
+	return g.keys
+}
+
+// bestMove evaluates vertex u (current community from s.comm, weighted
+// degree ku, adjacency adj) and returns the community it should move to.
+// ok is false when the vertex stays put.
+func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumulator) (int, bool) {
+	cu := int(s.comm[u])
+	acc.reset()
+	for _, a := range adj {
+		if a.To == u {
+			continue // self-loops contribute to no move
+		}
+		acc.add(int(s.comm[a.To]), a.W)
+	}
+	// Gain of staying: u removed from cu, then re-inserted.
+	totCu := s.lookupTot(cu) - ku
+	stayGain := acc.w[cu] - s.gamma*totCu*ku/s.m2
+
+	// Collect the max-gain candidate set.
+	best := stayGain
+	var cands []int
+	for _, c := range acc.sortedKeys() {
+		if c == cu {
+			continue
+		}
+		gain := acc.w[c] - s.gamma*s.lookupTot(c)*ku/s.m2
+		switch {
+		case gain > best+gainEps:
+			best = gain
+			cands = append(cands[:0], c)
+		case gain > best-gainEps:
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 || best <= stayGain+gainEps {
+		// Staying ties the best move (or beats it): do not churn.
+		return 0, false
+	}
+	target := s.pickCandidate(cu, cands)
+	if target == cu || !s.allowMove(cu, target) {
+		return 0, false
+	}
+	return target, true
+}
+
+// allowMove applies the convergence heuristic's movement constraint
+// (paper Section IV-C / Algorithm 2 line 11).
+//
+// Enhanced (the paper's heuristic): moves into communities local to this
+// rank are unrestricted — the rank applies them Gauss-Seidel style with
+// fresh aggregates, exactly like the sequential algorithm. Only moves into
+// *remote* communities, whose state is one iteration stale and whose
+// symmetric counterpart may move concurrently (the bouncing problem of
+// Figure 3), take the minimum-label constraint C(u) = min(C_new, C_cur);
+// the opposite-direction merge is performed by the remote side, which sees
+// the mirrored gain.
+//
+// Strict restricts every move to smaller labels (provably convergent,
+// slightly lower quality; ablation).
+//
+// Simple applies no movement constraint at all — minimum label acts only as
+// the tie-breaker, which is how the paper evaluates Lu et al.'s heuristic
+// in a distributed setting (and why it underperforms there).
+func (s *stage) allowMove(cu, target int) bool {
+	switch s.opt.Heuristic {
+	case HeuristicSimple:
+		return true
+	case HeuristicStrict:
+		return target < cu
+	default: // HeuristicEnhanced
+		if s.commOwner(target) == s.rnk {
+			return true
+		}
+		return target < cu
+	}
+}
+
+// pickCandidate arbitrates a set of equal-gain candidate communities
+// (ascending label order) according to the configured heuristic.
+func (s *stage) pickCandidate(cu int, cands []int) int {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	switch s.opt.Heuristic {
+	case HeuristicSimple, HeuristicStrict:
+		// Minimum label (cands are sorted).
+		return cands[0]
+	default:
+		return s.pickEnhanced(cands)
+	}
+}
+
+// pickEnhanced implements the paper's enhanced heuristic: prefer a local
+// community (one owned by this rank, whose state is fresh), then a remote
+// community with more than one member (unlikely to vanish underneath us),
+// then the minimum-label singleton ghost community.
+func (s *stage) pickEnhanced(cands []int) int {
+	localBest, multiBest := -1, -1
+	for _, c := range cands {
+		if s.commOwner(c) == s.rnk {
+			if localBest < 0 {
+				localBest = c
+			}
+			continue
+		}
+		if s.cachedSize(c) > 1 && multiBest < 0 {
+			multiBest = c
+		}
+	}
+	if localBest >= 0 {
+		return localBest
+	}
+	if multiBest >= 0 {
+		return multiBest
+	}
+	return cands[0] // minimum-label singleton ghost
+}
+
+// hubProposal computes this rank's proposal for hub h from the local share
+// of its arcs: the candidate community with the highest gain advantage over
+// the hub's current community, arbitrated by the same heuristic.
+func (s *stage) hubProposal(h int, kh float64, adj []partition.Arc, acc *gainAccumulator) hubProposal {
+	ch := int(s.comm[h])
+	if len(adj) == 0 {
+		return hubProposal{improvement: negInf, target: ch}
+	}
+	acc.reset()
+	for _, a := range adj {
+		if a.To == h {
+			continue
+		}
+		acc.add(int(s.comm[a.To]), a.W)
+	}
+	totCh := s.lookupTot(ch) - kh
+	stayGain := acc.w[ch] - s.gamma*totCh*kh/s.m2
+
+	best := stayGain
+	var cands []int
+	for _, c := range acc.sortedKeys() {
+		if c == ch {
+			continue
+		}
+		gain := acc.w[c] - s.gamma*s.lookupTot(c)*kh/s.m2
+		switch {
+		case gain > best+gainEps:
+			best = gain
+			cands = append(cands[:0], c)
+		case gain > best-gainEps:
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return hubProposal{improvement: negInf, target: ch}
+	}
+	return hubProposal{
+		improvement: best - stayGain,
+		target:      s.pickCandidate(ch, cands),
+	}
+}
+
+func sortInts(ks []int) { sort.Ints(ks) }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// RankResult is one rank's share of a distributed run, for callers that
+// drive their own communicator (e.g. the TCP worker processes). Tracked
+// lists the original vertex IDs this rank reports and Labels their final
+// community labels (global, not normalized — gather all ranks' pieces and
+// normalize to obtain the full membership).
+type RankResult struct {
+	Tracked     []int
+	Labels      []int
+	Modularity  float64
+	Stage1Iters int
+	OuterLevels int
+	Stage1Time  time.Duration
+	Stage2Time  time.Duration
+}
+
+// RunRank executes this rank's share of the distributed Louvain algorithm
+// over the caller's communicator. Every rank must call it with the same
+// graph and options; the deterministic partitioner gives each rank its
+// subgraph. This is the entry point for truly distributed (multi-process,
+// TCP) runs; core.Run wraps it with the in-process transport.
+func RunRank(c comm.Comm, g *graph.Graph, opt Options) (*RankResult, error) {
+	if opt.P == 0 {
+		opt.P = c.Size()
+	}
+	if opt.P != c.Size() {
+		return nil, fmt.Errorf("core: Options.P = %d but communicator has %d ranks", opt.P, c.Size())
+	}
+	if opt.DHigh <= 0 && g.NumVertices() > 0 {
+		opt.DHigh = opt.P
+		if floor := 4 * int(g.NumArcs()) / g.NumVertices(); floor > opt.DHigh {
+			opt.DHigh = floor
+		}
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic partitioning: every process computes the same layout
+	// and keeps its own part (a real deployment would distribute this
+	// step; the layout is a pure function of the graph and options).
+	layout, err := partition.Build(g, partition.Options{
+		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := runRank(c, layout.Parts[c.Rank()], opt)
+	if err != nil {
+		return nil, err
+	}
+	return &RankResult{
+		Tracked:     out.tracked,
+		Labels:      out.labels,
+		Modularity:  out.finalQ,
+		Stage1Iters: out.stage1.Iters,
+		OuterLevels: out.outer,
+		Stage1Time:  time.Duration(out.stage1NS),
+		Stage2Time:  time.Duration(out.stage2NS),
+	}, nil
+}

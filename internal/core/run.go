@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// innerStallLimit is the number of consecutive non-improving iterations
+// after which a clustering stage stops (see cluster).
+const innerStallLimit = 3
+
+// cluster runs the parallel local clustering loop of one stage until no
+// vertex moves anywhere in the world (or the iteration cap is reached).
+// Every iteration follows the paper's Algorithm 2: refresh community
+// aggregates, sweep for best moves, agree on delegate moves, swap ghost
+// states, flush Σtot deltas, and reduce the global modularity.
+func (s *stage) cluster() (stageResult, error) {
+	var res stageResult
+	if s.m2 == 0 {
+		// Edgeless graph: every vertex stays a singleton and Q is 0 by
+		// convention. All ranks share m2, so skipping is consistent.
+		res.Iters = 1
+		return res, nil
+	}
+	// Stall detection: the heuristics guarantee the modularity plateaus,
+	// but a handful of vertices can keep exchanging equally-good labels
+	// forever; stop once Q has not improved for a few iterations.
+	bestQ := math.Inf(-1)
+	stall := 0
+	for iter := 1; ; iter++ {
+		workStart := s.work
+		snapStart := s.c.Stats().Snapshot()
+		s.tm.Start(trace.Other)
+		if err := s.fetchCommunityInfo(); err != nil {
+			return res, err
+		}
+		s.tm.Start(trace.FindBest)
+		props, movedLocal := s.sweep()
+		s.tm.Start(trace.BroadcastDelegates)
+		hubMoved, err := s.delegateExchange(props)
+		if err != nil {
+			return res, err
+		}
+		s.tm.Start(trace.SwapGhost)
+		if err := s.ghostSwap(); err != nil {
+			return res, err
+		}
+		s.tm.Start(trace.Other)
+		if err := s.flushDeltas(); err != nil {
+			return res, err
+		}
+		q, err := s.globalModularity()
+		if err != nil {
+			return res, err
+		}
+		movedTotal, err := comm.AllreduceInt64Sum(s.c, int64(movedLocal+hubMoved))
+		if err != nil {
+			return res, err
+		}
+		if debugInvariants {
+			if err := s.checkInvariants(iter); err != nil {
+				return res, err
+			}
+		}
+		s.tm.Stop()
+		// Simulated parallel time: the slowest rank bounds the iteration.
+		// The per-iteration maximum across ranks of deterministic work
+		// units (× WorkUnitNS) is the scalability measure the experiments
+		// report; wall clock cannot separate ranks sharing the host's
+		// cores (EXPERIMENTS.md).
+		iterWork := s.work - workStart
+		maxWork, err := comm.AllreduceInt64Max(s.c, iterWork)
+		if err != nil {
+			return res, err
+		}
+		res.SimNS += maxWork * WorkUnitNS
+		// Simulated communication time of the iteration: the slowest
+		// rank's α-β traffic cost (measured bytes and message counts).
+		snapEnd := s.c.Stats().Snapshot()
+		commNS := s.opt.Comm.costNS(snapEnd.MsgsSent-snapStart.MsgsSent,
+			snapEnd.BytesSent-snapStart.BytesSent)
+		maxComm, err := comm.AllreduceInt64Max(s.c, commNS)
+		if err != nil {
+			return res, err
+		}
+		res.CommSimNS += maxComm
+		s.bd.Iters++
+		res.Iters = iter
+		res.Q = q
+		if s.opt.TrackTrace {
+			res.QTrace = append(res.QTrace, q)
+		}
+		if q > bestQ+s.opt.MinGain {
+			bestQ = q
+			stall = 0
+		} else {
+			stall++
+		}
+		if movedTotal == 0 || stall >= innerStallLimit || iter >= s.opt.MaxInnerIters {
+			return res, nil
+		}
+	}
+}
+
+// Result reports a distributed run.
+type Result struct {
+	// Membership maps every original vertex to its community
+	// (dense labels 0..K-1).
+	Membership graph.Membership
+	// Modularity is the algorithm's own final global modularity (computed
+	// by the distributed reduction, not recomputed from Membership).
+	Modularity float64
+	// QTrace is the global modularity after every inner clustering
+	// iteration across all stages (only filled with Options.TrackTrace).
+	QTrace []float64
+	// LevelMemberships is the dendrogram — the membership of the original
+	// vertices after each clustering stage (only with Options.TrackLevels).
+	LevelMemberships []graph.Membership
+	// Stage1Iters is the number of inner iterations of the first
+	// (delegate) clustering stage.
+	Stage1Iters int
+	// OuterLevels counts clustering stages (1 = only the delegate stage).
+	OuterLevels int
+	// HubCount is the number of delegated vertices.
+	HubCount int
+	// Census is the partitioning census (per-rank arcs and ghosts).
+	Census partition.Census
+
+	// Timings. Stage1Time covers the delegate clustering stage; Stage2Time
+	// covers merging plus all later stages. Both are the maximum across
+	// ranks; TotalTime is wall clock for the whole world.
+	PartitionTime time.Duration
+	Stage1Time    time.Duration
+	Stage2Time    time.Duration
+	TotalTime     time.Duration
+
+	// Stage1CommSim and Stage2CommSim are the simulated communication
+	// times under Options.Comm (α-β pricing of the measured traffic).
+	Stage1CommSim time.Duration
+	Stage2CommSim time.Duration
+
+	// Stage1Sim and Stage2Sim are the simulated parallel clustering times:
+	// the sum over iterations of the per-iteration maximum (across ranks)
+	// of per-rank busy time. On a single-core host the wall-clock times
+	// serialize all ranks; these are the scalability measures the
+	// experiments report (see EXPERIMENTS.md).
+	Stage1Sim time.Duration
+	Stage2Sim time.Duration
+
+	// Breakdown is the per-phase wall time of the first stage on rank 0;
+	// on a shared host the communication phases include scheduling time.
+	Breakdown trace.Breakdown
+
+	// BusyBreakdown is the per-phase simulated compute time of the first
+	// stage on rank 0: deterministic work units × WorkUnitNS (Figure 8(b)
+	// uses this; see EXPERIMENTS.md).
+	BusyBreakdown trace.Breakdown
+
+	// CommStats is the per-rank traffic census of the whole run.
+	CommStats comm.WorldStats
+}
+
+// rankOut is what each rank contributes to the final Result.
+type rankOut struct {
+	tracked  []int // original vertex IDs this rank reports
+	labels   []int // final community labels, parallel to tracked
+	stage1   stageResult
+	qtrace   []float64
+	finalQ   float64
+	outer    int
+	stage1NS int64
+	stage2NS int64
+	sim1NS   int64
+	sim2NS   int64
+	comm1NS  int64
+	comm2NS  int64
+	bd       trace.Breakdown
+	busyBD   trace.Breakdown
+	levels   [][]int // per-stage label snapshots of tracked vertices
+}
+
+// Run executes the full distributed Louvain algorithm on g with opt.P ranks
+// simulated as goroutines over the in-process transport.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.DHigh <= 0 && opt.P >= 1 && g.NumVertices() > 0 {
+		// Default hub threshold. The paper sets dhigh = p in a regime where
+		// p (thousands) far exceeds the average degree, so hubs are a thin
+		// tail. Floor the default at four times the average degree so the hub
+		// fraction stays comparably thin at small p; explicit DHigh values
+		// are always honored.
+		opt.DHigh = opt.P
+		if floor := 4 * int(g.NumArcs()) / g.NumVertices(); floor > opt.DHigh {
+			opt.DHigh = floor
+		}
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	layout, err := partition.Build(g, partition.Options{
+		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh,
+	})
+	if err != nil {
+		return nil, err
+	}
+	partTime := time.Since(t0)
+
+	outs := make([]*rankOut, opt.P)
+	tStart := time.Now()
+	stats, err := comm.RunWorldStats(opt.P, func(c comm.Comm) error {
+		o, err := runRank(c, layout.Parts[c.Rank()], opt)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", c.Rank(), err)
+		}
+		outs[c.Rank()] = o
+		return nil
+	})
+	totalTime := time.Since(tStart)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Membership:    make(graph.Membership, g.NumVertices()),
+		PartitionTime: partTime,
+		TotalTime:     totalTime,
+		CommStats:     stats,
+		HubCount:      len(layout.Hubs),
+		Census:        layout.Census(),
+		Breakdown:     outs[0].bd,
+		BusyBreakdown: outs[0].busyBD,
+		Stage1Iters:   outs[0].stage1.Iters,
+		OuterLevels:   outs[0].outer,
+		Modularity:    outs[0].finalQ,
+		QTrace:        outs[0].qtrace,
+	}
+	for _, o := range outs {
+		for i, u := range o.tracked {
+			res.Membership[u] = o.labels[i]
+		}
+		if d := time.Duration(o.stage1NS); d > res.Stage1Time {
+			res.Stage1Time = d
+		}
+		if d := time.Duration(o.stage2NS); d > res.Stage2Time {
+			res.Stage2Time = d
+		}
+	}
+	res.Stage1Sim = time.Duration(outs[0].sim1NS)
+	res.Stage2Sim = time.Duration(outs[0].sim2NS)
+	res.Stage1CommSim = time.Duration(outs[0].comm1NS)
+	res.Stage2CommSim = time.Duration(outs[0].comm2NS)
+	res.Membership.Normalize()
+	if opt.TrackLevels && len(outs[0].levels) > 0 {
+		nLevels := len(outs[0].levels)
+		for l := 0; l < nLevels; l++ {
+			m := make(graph.Membership, g.NumVertices())
+			for _, o := range outs {
+				for i, u := range o.tracked {
+					m[u] = o.levels[l][i]
+				}
+			}
+			m.Normalize()
+			res.LevelMemberships = append(res.LevelMemberships, m)
+		}
+	}
+	return res, nil
+}
+
+// runRank is the per-rank algorithm: stage 1 with delegates, then
+// merge/recluster rounds without delegates until modularity stops improving
+// (Algorithm 1).
+func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error) {
+	p := c.Size()
+	tracked := append([]int(nil), sg.Owned...)
+	for _, h := range sg.Hubs {
+		if h%p == c.Rank() {
+			tracked = append(tracked, h)
+		}
+	}
+	cur := append([]int(nil), tracked...) // current coarse vertex of each tracked original vertex
+
+	st := newStage(c, sg, opt)
+	t1 := time.Now()
+	res1, err := st.cluster()
+	if err != nil {
+		return nil, err
+	}
+	out := &rankOut{
+		tracked:  tracked,
+		stage1:   res1,
+		qtrace:   append([]float64(nil), res1.QTrace...),
+		finalQ:   res1.Q,
+		outer:    1,
+		stage1NS: int64(time.Since(t1)),
+		sim1NS:   res1.SimNS,
+		comm1NS:  res1.CommSimNS,
+		bd:       st.bd,
+		busyBD:   st.workBreakdown(),
+	}
+
+	// Current global vertex count (needed to detect a no-op merge).
+	ownCount, err := comm.AllreduceInt64Sum(c, int64(len(sg.Owned)))
+	if err != nil {
+		return nil, err
+	}
+	curCount := int(ownCount) + len(sg.Hubs)
+
+	t2 := time.Now()
+	defer func() { out.stage2NS = int64(time.Since(t2)) }()
+
+	prevQ := res1.Q
+	cs := st
+	snapshot := func() {
+		if opt.TrackLevels {
+			out.levels = append(out.levels, append([]int(nil), cur...))
+		}
+	}
+	for {
+		if opt.MaxOuterLevels > 0 && out.outer >= opt.MaxOuterLevels {
+			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) })
+			if err != nil {
+				return nil, err
+			}
+			out.labels = cur
+			snapshot()
+			return out, nil
+		}
+		newSG, k, err := cs.merge()
+		if err != nil {
+			return nil, err
+		}
+		cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.dense[cs.comm[x]]) })
+		if err != nil {
+			return nil, err
+		}
+		snapshot()
+		if k <= 1 || k == curCount {
+			// Fully merged, or merging achieved nothing: done.
+			out.labels = cur
+			return out, nil
+		}
+		curCount = k
+
+		st2 := newStage(c, newSG, opt)
+		r2, err := st2.cluster()
+		if err != nil {
+			return nil, err
+		}
+		out.outer++
+		out.qtrace = append(out.qtrace, r2.QTrace...)
+		out.finalQ = r2.Q
+		out.sim2NS += r2.SimNS
+		out.comm2NS += r2.CommSimNS
+		if r2.Q-prevQ < opt.MinGain {
+			// Keep this stage's (possibly tiny) improvement, then stop.
+			cur, err = resolveQueries(c, cur, func(x int) int { return int(st2.comm[x]) })
+			if err != nil {
+				return nil, err
+			}
+			out.labels = cur
+			snapshot()
+			return out, nil
+		}
+		prevQ = r2.Q
+		cs = st2
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// stage is the per-rank runtime state of one clustering stage (with or
+// without delegates — a stage without delegates simply has an empty hub
+// list). Community IDs live in the stage's vertex-ID space; community c is
+// owned by rank c mod P, which keeps the authoritative Σtot and size for it.
+//
+// All hot state is kept in dense arrays indexed by vertex/community ID (the
+// stage's ID space has n = sg.GlobalVertices entries), as a real MPI
+// implementation would; only entries for locally known vertices and locally
+// referenced communities are meaningful.
+type stage struct {
+	c     comm.Comm
+	sg    *partition.Subgraph
+	opt   Options
+	m2    float64
+	gamma float64 // modularity resolution γ
+	p     int
+	rnk   int
+	n     int // vertex-ID space size of this stage
+
+	// comm holds the community label of every locally known vertex:
+	// owned low vertices, hubs (replicated), and ghosts. Entries for
+	// unknown vertices are -1.
+	comm []int32
+
+	// tot and size are cached community aggregates, refreshed from the
+	// community owners at the start of every iteration and adjusted
+	// locally during the sweep (Gauss-Seidel within the rank). cached
+	// marks valid entries; cachedList drives O(touched) reset.
+	tot        []float64
+	size       []int32
+	cached     []bool
+	cachedList []int
+
+	// ownTot and ownSize are the authoritative aggregates for communities
+	// owned by this rank (IDs ≡ rnk mod p), updated by the delta exchange.
+	ownTot  []float64
+	ownSize []int32
+
+	// Pending aggregate deltas keyed by community, routed to owners at the
+	// end of each iteration. deltaTouched drives O(touched) flush/reset;
+	// deltaMark prevents duplicate entries when a delta transits zero.
+	deltaW       []float64
+	deltaN       []int32
+	deltaMark    []bool
+	deltaTouched []int
+
+	// changed lists owned vertices whose label changed this iteration
+	// (drives the ghost swap).
+	changed []int
+
+	// dense maps community IDs to their dense merged-graph vertex IDs;
+	// populated by merge (-1 = not mapped).
+	dense []int32
+
+	bd trace.Breakdown
+	tm *trace.Timer
+
+	// work accumulates deterministic compute-work units (arcs scanned,
+	// values encoded/decoded/applied); it feeds the simulated parallel
+	// time. Wall-clock measurement is useless here: ranks share the host's
+	// cores and preempt each other mid-segment, so timing is dominated by
+	// scheduling noise. Work units are exact and reproducible; WorkUnitNS
+	// converts them to nominal time. workPhase splits the same count by
+	// algorithm phase (Figure 8(b)).
+	work      int64
+	workPhase [trace.NumPhases]int64
+}
+
+// WorkUnitNS is the nominal cost of one work unit (one arc scanned, one
+// value encoded/decoded/applied), calibrated against the sequential
+// baseline's per-arc sweep cost on this class of hardware. Only ratios of
+// simulated times are meaningful; the constant fixes their scale.
+const WorkUnitNS = 10
+
+// addWork records n compute-work units in phase ph.
+func (s *stage) addWork(ph trace.Phase, n int64) {
+	s.work += n
+	s.workPhase[ph] += n
+}
+
+func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
+	n := sg.GlobalVertices
+	s := &stage{
+		c: c, sg: sg, opt: opt,
+		m2:        sg.TotalWeight2,
+		gamma:     opt.Resolution,
+		p:         c.Size(),
+		rnk:       c.Rank(),
+		n:         n,
+		comm:      make([]int32, n),
+		tot:       make([]float64, n),
+		size:      make([]int32, n),
+		cached:    make([]bool, n),
+		ownTot:    make([]float64, n),
+		ownSize:   make([]int32, n),
+		deltaW:    make([]float64, n),
+		deltaN:    make([]int32, n),
+		deltaMark: make([]bool, n),
+	}
+	s.tm = trace.NewTimer(&s.bd)
+	for i := range s.comm {
+		s.comm[i] = -1
+	}
+	// Every vertex starts in its own singleton community.
+	for i, u := range sg.Owned {
+		s.comm[u] = int32(u)
+		s.ownTot[u] = sg.OwnedWDeg[i]
+		s.ownSize[u] = 1
+	}
+	for i, h := range sg.Hubs {
+		s.comm[h] = int32(h)
+		if h%s.p == s.rnk {
+			s.ownTot[h] = sg.HubWDeg[i]
+			s.ownSize[h] = 1
+		}
+	}
+	for _, g := range sg.Ghosts {
+		s.comm[g] = int32(g)
+	}
+	return s
+}
+
+// commOwner returns the rank that owns community (or vertex) id c.
+func (s *stage) commOwner(c int) int { return c % s.p }
+
+// lookupTot returns the cached Σtot of community c; the fetch step
+// guarantees every candidate community is cached, so a miss is a bug.
+func (s *stage) lookupTot(c int) float64 {
+	if !s.cached[c] {
+		panic(fmt.Sprintf("core: rank %d missing Σtot for community %d", s.rnk, c))
+	}
+	return s.tot[c]
+}
+
+// cachedSize returns the cached member count of community c (0 when the
+// community is not cached; used only by heuristic guards).
+func (s *stage) cachedSize(c int) int32 {
+	if !s.cached[c] {
+		return 0
+	}
+	return s.size[c]
+}
+
+// resetCache invalidates all cached community aggregates in O(touched).
+func (s *stage) resetCache() {
+	for _, c := range s.cachedList {
+		s.cached[c] = false
+	}
+	s.cachedList = s.cachedList[:0]
+}
+
+// installCache stores a fetched aggregate.
+func (s *stage) installCache(c int, tot float64, size int32) {
+	if !s.cached[c] {
+		s.cached[c] = true
+		s.cachedList = append(s.cachedList, c)
+	}
+	s.tot[c] = tot
+	s.size[c] = size
+}
+
+// neededCommunities returns the deduplicated set of community IDs
+// referenced by any locally known vertex, grouped by owning rank.
+func (s *stage) neededCommunities() [][]int {
+	reqs := make([][]int, s.p)
+	mark := make(map[int32]struct{}, len(s.sg.Owned)+len(s.sg.Hubs)+len(s.sg.Ghosts))
+	note := func(v int) {
+		c := s.comm[v]
+		if _, ok := mark[c]; ok {
+			return
+		}
+		mark[c] = struct{}{}
+		reqs[int(c)%s.p] = append(reqs[int(c)%s.p], int(c))
+	}
+	for _, u := range s.sg.Owned {
+		note(u)
+	}
+	for _, h := range s.sg.Hubs {
+		note(h)
+	}
+	for _, g := range s.sg.Ghosts {
+		note(g)
+	}
+	for r := range reqs {
+		sortInts(reqs[r])
+	}
+	return reqs
+}
+
+// addDelta records that community c gained dw weighted degree and dn
+// members (negative for departures).
+func (s *stage) addDelta(c int, dw float64, dn int32) {
+	if !s.deltaMark[c] {
+		s.deltaMark[c] = true
+		s.deltaTouched = append(s.deltaTouched, c)
+	}
+	s.deltaW[c] += dw
+	s.deltaN[c] += dn
+}
+
+// applyLocalMove updates the local caches and delta ledger for a vertex of
+// weighted degree k moving from community from to community to.
+func (s *stage) applyLocalMove(from, to int, k float64) {
+	s.tot[from] -= k
+	s.size[from]--
+	if s.cached[to] {
+		s.tot[to] += k
+		s.size[to]++
+	}
+	s.addDelta(from, -k, -1)
+	s.addDelta(to, k, 1)
+}
+
+// workBreakdown returns the per-phase simulated compute time of the stage
+// (work units × WorkUnitNS).
+func (s *stage) workBreakdown() trace.Breakdown {
+	var b trace.Breakdown
+	for i := range s.workPhase {
+		b.Durations[i] = time.Duration(s.workPhase[i] * WorkUnitNS)
+	}
+	b.Iters = s.bd.Iters
+	return b
+}
+
+// stageResult summarizes a converged clustering stage.
+type stageResult struct {
+	Q      float64
+	Iters  int
+	QTrace []float64
+	// SimNS is the simulated parallel compute time of the stage in
+	// nanoseconds: Σ over iterations of max-across-ranks work × WorkUnitNS.
+	SimNS int64
+	// CommSimNS is the simulated communication time: Σ over iterations of
+	// max-across-ranks α-β cost of the rank's sent traffic.
+	CommSimNS int64
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// fetchCommunityInfo refreshes the Σtot/size caches for every community
+// referenced locally: requests are routed to community owners via an
+// all-to-all exchange and answered from the authoritative tables.
+func (s *stage) fetchCommunityInfo() error {
+	reqs := s.neededCommunities()
+	out := make([][]byte, s.p)
+	nReq := int64(0)
+	for r := 0; r < s.p; r++ {
+		b := wire.NewBuffer(len(reqs[r])*3 + 8)
+		b.PutInts(reqs[r])
+		out[r] = b.Bytes()
+		nReq += int64(len(reqs[r]))
+	}
+	s.addWork(trace.Other, nReq)
+	in, err := comm.Alltoallv(s.c, out)
+	if err != nil {
+		return err
+	}
+	// Answer each request list in order.
+	replies := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(in[r])
+		ids := rd.Ints()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		b := wire.NewBuffer(len(ids)*10 + 8)
+		for _, c := range ids {
+			b.PutF64(s.ownTot[c])
+			b.PutVarint(int64(s.ownSize[c]))
+		}
+		replies[r] = b.Bytes()
+		s.addWork(trace.Other, int64(len(ids)))
+	}
+	back, err := comm.Alltoallv(s.c, replies)
+	if err != nil {
+		return err
+	}
+	// Install fresh values.
+	s.resetCache()
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(back[r])
+		for _, c := range reqs[r] {
+			s.installCache(c, rd.F64(), int32(rd.Varint()))
+		}
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	s.addWork(trace.Other, nReq)
+	return nil
+}
+
+// hubProposal is one rank's best move for one hub, computed from the rank's
+// local share of the hub's arcs. Improvement is the modularity-gain
+// advantage over keeping the hub in its current community; negative or
+// -Inf proposals never win.
+type hubProposal struct {
+	improvement float64
+	target      int
+}
+
+// delegateExchange reduces per-rank hub proposals to a global winner per hub
+// (max improvement, ties to the smaller target label) and applies the
+// winning moves identically on every rank. It returns the number of hubs
+// that moved *and are owned by this rank*, so the world-wide sum counts each
+// hub once. Only the hub's owner emits aggregate deltas, for the same
+// reason.
+func (s *stage) delegateExchange(props []hubProposal) (int, error) {
+	nh := len(s.sg.Hubs)
+	if nh == 0 {
+		return 0, nil
+	}
+	buf := wire.NewBuffer(nh * 12)
+	for _, pr := range props {
+		buf.PutF64(pr.improvement)
+		buf.PutVarint(int64(pr.target))
+	}
+	// Encode + apply are O(hubs) on every rank; the reduction itself adds
+	// O(hubs · log p) combine work, charged here as well.
+	s.addWork(trace.BroadcastDelegates, int64(nh)*int64(2+log2ceil(s.p)))
+	win, err := comm.AllreduceBytes(s.c, buf.Bytes(), combineHubProposals)
+	if err != nil {
+		return 0, err
+	}
+	rd := wire.NewReader(win)
+	moved := 0
+	for i, h := range s.sg.Hubs {
+		imp := rd.F64()
+		target := int(rd.Varint())
+		cur := int(s.comm[h])
+		if !(imp > gainEps) || target == cur {
+			continue
+		}
+		// A hub's community state is inherently cross-rank, so hub moves
+		// take the minimum-label constraint under the enhanced and strict
+		// heuristics. The decision is identical on every rank because all
+		// inputs are replicated.
+		if s.opt.Heuristic != HeuristicSimple && target > cur {
+			continue
+		}
+		k := s.sg.HubWDeg[i]
+		s.comm[h] = int32(target)
+		if s.cached[cur] {
+			s.tot[cur] -= k
+			s.size[cur]--
+		}
+		if s.cached[target] {
+			s.tot[target] += k
+			s.size[target]++
+		}
+		if s.commOwner(h) == s.rnk {
+			s.addDelta(cur, -k, -1)
+			s.addDelta(target, k, 1)
+			moved++
+		}
+	}
+	return moved, rd.Err()
+}
+
+func log2ceil(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// combineHubProposals merges two encoded proposal vectors elementwise,
+// keeping the higher improvement and breaking ties toward the smaller
+// target label. It is associative and commutative as AllreduceBytes
+// requires.
+func combineHubProposals(a, b []byte) []byte {
+	ra, rb := wire.NewReader(a), wire.NewReader(b)
+	out := wire.NewBuffer(len(a))
+	for ra.Remaining() > 0 {
+		ia, ta := ra.F64(), ra.Varint()
+		ib, tb := rb.F64(), rb.Varint()
+		if ib > ia || (ib == ia && tb < ta) {
+			ia, ta = ib, tb
+		}
+		out.PutF64(ia)
+		out.PutVarint(ta)
+	}
+	return out.Bytes()
+}
+
+// ghostSwap pushes the labels of changed owned vertices to every rank that
+// holds them as ghosts, and applies the symmetric updates received.
+func (s *stage) ghostSwap() error {
+	out := make([]*wire.Buffer, s.p)
+	for r := 0; r < s.p; r++ {
+		out[r] = wire.NewBuffer(0)
+	}
+	sent := int64(0)
+	for _, u := range s.changed {
+		subs := s.sg.Subscribers[u]
+		if len(subs) == 0 {
+			continue
+		}
+		c := int64(s.comm[u])
+		for _, r := range subs {
+			out[r].PutVarint(int64(u))
+			out[r].PutVarint(c)
+			sent++
+		}
+	}
+	s.addWork(trace.SwapGhost, sent)
+	bufs := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		bufs[r] = out[r].Bytes()
+	}
+	in, err := comm.Alltoallv(s.c, bufs)
+	if err != nil {
+		return err
+	}
+	recvd := int64(0)
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(in[r])
+		for rd.Remaining() > 0 {
+			v := int(rd.Varint())
+			c := int32(rd.Varint())
+			s.comm[v] = c
+			recvd++
+		}
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	s.addWork(trace.SwapGhost, recvd)
+	return nil
+}
+
+// flushDeltas routes the pending Σtot/size deltas to community owners and
+// applies the ones addressed to this rank.
+func (s *stage) flushDeltas() error {
+	out := make([]*wire.Buffer, s.p)
+	for r := 0; r < s.p; r++ {
+		out[r] = wire.NewBuffer(0)
+	}
+	// Sorted order keeps the byte streams reproducible run to run.
+	sort.Ints(s.deltaTouched)
+	s.addWork(trace.Other, int64(len(s.deltaTouched)))
+	for _, c := range s.deltaTouched {
+		o := s.commOwner(c)
+		out[o].PutVarint(int64(c))
+		out[o].PutF64(s.deltaW[c])
+		out[o].PutVarint(int64(s.deltaN[c]))
+		s.deltaW[c] = 0
+		s.deltaN[c] = 0
+		s.deltaMark[c] = false
+	}
+	s.deltaTouched = s.deltaTouched[:0]
+	bufs := make([][]byte, s.p)
+	for r := 0; r < s.p; r++ {
+		bufs[r] = out[r].Bytes()
+	}
+	in, err := comm.Alltoallv(s.c, bufs)
+	if err != nil {
+		return err
+	}
+	applied := int64(0)
+	for r := 0; r < s.p; r++ {
+		rd := wire.NewReader(in[r])
+		for rd.Remaining() > 0 {
+			c := int(rd.Varint())
+			dw := rd.F64()
+			dn := int32(rd.Varint())
+			s.ownTot[c] += dw
+			s.ownSize[c] += dn
+			applied++
+		}
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	s.addWork(trace.Other, applied)
+	return nil
+}
+
+// globalModularity computes the exact global modularity from the current,
+// fully synchronized community state: each rank sums the weights of its
+// matching local arcs, and each community owner contributes the −(Σtot/2m)²
+// terms of its non-empty communities; an Allreduce yields Q everywhere.
+func (s *stage) globalModularity() (float64, error) {
+	var in float64
+	arcs := int64(0)
+	for i, u := range s.sg.Owned {
+		cu := s.comm[u]
+		for _, a := range s.sg.AdjOwned[i] {
+			if s.comm[a.To] == cu {
+				in += a.W
+			}
+		}
+		arcs += int64(len(s.sg.AdjOwned[i]))
+	}
+	for i, h := range s.sg.Hubs {
+		ch := s.comm[h]
+		for _, a := range s.sg.AdjHub[i] {
+			if s.comm[a.To] == ch {
+				in += a.W
+			}
+		}
+		arcs += int64(len(s.sg.AdjHub[i]))
+	}
+	var totTerm float64
+	owned := int64(0)
+	for c := s.rnk; c < s.n; c += s.p {
+		owned++
+		if s.ownSize[c] <= 0 {
+			continue
+		}
+		t := s.ownTot[c] / s.m2
+		totTerm += s.gamma * t * t
+	}
+	s.addWork(trace.Other, arcs+owned)
+	local := in/s.m2 - totTerm
+	return comm.AllreduceFloat64Sum(s.c, local)
+}
+
+// negInf is the improvement of an absent hub proposal.
+var negInf = math.Inf(-1)

@@ -1,0 +1,210 @@
+package digraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestFromArcsBasics(t *testing.T) {
+	d, err := FromArcs(3, []Arc{{0, 1, 2}, {1, 2, 1}, {2, 0, 1}, {0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d", d.NumVertices())
+	}
+	if d.NumArcs() != 3 {
+		t.Errorf("NumArcs = %d, want 3 after combining parallels", d.NumArcs())
+	}
+	if d.OutWeight(0) != 5 || d.InWeight(1) != 5 {
+		t.Errorf("degrees: out(0)=%g in(1)=%g", d.OutWeight(0), d.InWeight(1))
+	}
+	if d.TotalWeight() != 7 {
+		t.Errorf("m = %g, want 7", d.TotalWeight())
+	}
+}
+
+func TestFromArcsErrors(t *testing.T) {
+	if _, err := FromArcs(2, []Arc{{0, 2, 1}}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if _, err := FromArcs(2, []Arc{{-1, 0, 1}}); err == nil {
+		t.Error("expected negative endpoint error")
+	}
+}
+
+func TestDirectedModularityKnown(t *testing.T) {
+	// Two directed 3-cycles: perfect community structure.
+	d, err := FromArcs(6, []Arc{
+		{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+		{3, 4, 1}, {4, 5, 1}, {5, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := graph.Membership{0, 0, 0, 1, 1, 1}
+	// Q = Σ_c [3/6 − (3·3)/36] = 2 × (0.5 − 0.25) = 0.5
+	if got := Modularity(d, m); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Q_d = %g, want 0.5", got)
+	}
+	all := graph.Membership{0, 0, 0, 0, 0, 0}
+	if got := Modularity(d, all); math.Abs(got) > 1e-12 {
+		t.Errorf("Q_d(one community) = %g, want 0", got)
+	}
+}
+
+func TestDirectedLouvainRecoversCycles(t *testing.T) {
+	d, err := FromArcs(6, []Arc{
+		{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+		{3, 4, 1}, {4, 5, 1}, {5, 3, 1},
+		{2, 3, 0.1}, // weak bridge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Louvain(d, Options{})
+	if res.Membership.NumCommunities() != 2 {
+		t.Errorf("found %d communities, want 2 (%v)", res.Membership.NumCommunities(), res.Membership)
+	}
+	if res.Membership[0] != res.Membership[1] || res.Membership[1] != res.Membership[2] {
+		t.Errorf("cycle 1 split: %v", res.Membership)
+	}
+	if res.Modularity < 0.4 {
+		t.Errorf("Q_d = %g", res.Modularity)
+	}
+}
+
+func TestDirectedMatchesUndirectedOnSymmetricInput(t *testing.T) {
+	// On a symmetric digraph (both arc directions present), directed
+	// modularity of a partition equals the undirected modularity.
+	g, truth, err := gen.SBM([]int{30, 30}, 0.4, 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arcs []Arc
+	for u := 0; u < g.NumVertices(); u++ {
+		lo, hi := g.ArcRange(u)
+		for a := lo; a < hi; a++ {
+			arcs = append(arcs, Arc{From: u, To: g.ArcTarget(a), W: g.ArcWeight(a)})
+		}
+	}
+	d, err := FromArcs(g.NumVertices(), arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := Modularity(d, truth)
+	qu := graph.Modularity(g, truth)
+	if math.Abs(qd-qu) > 1e-9 {
+		t.Errorf("directed Q %g != undirected Q %g on symmetric input", qd, qu)
+	}
+	res := Louvain(d, Options{})
+	if res.Membership.NumCommunities() != 2 {
+		t.Errorf("directed Louvain found %d communities, want 2", res.Membership.NumCommunities())
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	d, err := FromArcs(3, []Arc{{0, 1, 2}, {1, 0, 3}, {1, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	// opposite arcs merged: undirected weight 5
+	if g.WeightedDegree(0) != 5 {
+		t.Errorf("WeightedDegree(0) = %g, want 5", g.WeightedDegree(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatePreservesDirectedModularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	arcs := make([]Arc, 300)
+	for i := range arcs {
+		arcs[i] = Arc{From: rng.Intn(40), To: rng.Intn(40), W: 1 + rng.Float64()}
+	}
+	d, err := FromArcs(40, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make(graph.Membership, 40)
+	for i := range labels {
+		labels[i] = i % 6
+	}
+	k := labels.Normalize()
+	ag := Aggregate(d, labels, k)
+	coarse := make(graph.Membership, k)
+	for i := range coarse {
+		coarse[i] = i
+	}
+	if math.Abs(Modularity(d, labels)-Modularity(ag, coarse)) > 1e-9 {
+		t.Error("aggregation broke directed modularity")
+	}
+	if math.Abs(ag.TotalWeight()-d.TotalWeight()) > 1e-9 {
+		t.Error("aggregation changed m")
+	}
+}
+
+func TestEmptyDigraph(t *testing.T) {
+	d, err := FromArcs(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Louvain(d, Options{})
+	if len(res.Membership) != 0 || res.Modularity != 0 {
+		t.Errorf("empty: %+v", res)
+	}
+}
+
+func TestDirectedLouvainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	arcs := make([]Arc, 500)
+	for i := range arcs {
+		arcs[i] = Arc{From: rng.Intn(80), To: rng.Intn(80), W: 1}
+	}
+	d, err := FromArcs(80, arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := Louvain(d, Options{})
+	r2 := Louvain(d, Options{})
+	if r1.Modularity != r2.Modularity {
+		t.Errorf("nondeterministic: %g vs %g", r1.Modularity, r2.Modularity)
+	}
+}
+
+func TestQuickDirectedModularityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		arcs := make([]Arc, 80)
+		for i := range arcs {
+			arcs[i] = Arc{From: rng.Intn(n), To: rng.Intn(n), W: 1}
+		}
+		d, err := FromArcs(n, arcs)
+		if err != nil {
+			return false
+		}
+		m := make(graph.Membership, n)
+		for i := range m {
+			m[i] = rng.Intn(4)
+		}
+		q := Modularity(d, m)
+		return q >= -1-1e-9 && q <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Fig7 reproduces Figure 7: total running time of the delegate-partitioned
+// algorithm vs the 1D-partitioned distributed Louvain (the paper's MPI
+// re-implementation of Cheong et al.) across datasets of growing size.
+func Fig7(p Profile) (*Table, error) {
+	// The imbalance penalty of 1D partitioning grows with the processor
+	// count, so this comparison runs at the sweep's largest p (the paper
+	// uses 1024+, where its 1D baseline stops completing at all).
+	pp := p.Procs[len(p.Procs)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7 — total running time, delegate vs 1D partitioning (p=%d)", pp),
+		Header: []string{"Dataset", "edges", "delegate (ms)", "1D (ms)", "1D/delegate", "Q delegate", "Q 1D"},
+		Notes: []string{
+			"paper's shape: similar on small graphs, 1D increasingly slower as size and skew grow",
+			"times are simulated parallel clustering times (max-rank busy per iteration)",
+			"(on UK-2005 the paper's 1D baseline did not complete at 1024+ processors)",
+		},
+	}
+	for _, d := range p.datasets() {
+		g, _, err := d.Load()
+		if err != nil {
+			return nil, err
+		}
+		del, err := core.Run(g, core.Options{P: pp, Partitioning: partition.Delegate})
+		if err != nil {
+			return nil, fmt.Errorf("%s delegate: %w", d.Name, err)
+		}
+		oneD, err := core.Run(g, core.Options{P: pp, Partitioning: partition.OneD})
+		if err != nil {
+			return nil, fmt.Errorf("%s 1d: %w", d.Name, err)
+		}
+		delSim := del.Stage1Sim + del.Stage2Sim
+		oneDSim := oneD.Stage1Sim + oneD.Stage2Sim
+		ratio := float64(oneDSim) / float64(delSim)
+		t.AddRow(d.Name, g.NumEdges(),
+			ms(delSim), ms(oneDSim),
+			fmt.Sprintf("%.2f", ratio), del.Modularity, oneD.Modularity)
+	}
+	return t, nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// FigComm is an extra experiment backing the paper's Section V-C claim
+// ("we experiment the communication cost for large graphs, which is not
+// fully investigated in existing research work"): exact per-rank
+// communication volume of a full clustering run, delegate vs 1D
+// partitioning, across processor counts. Balance is reported as
+// max-rank share / perfect share (1.0 = perfectly balanced).
+func FigComm(p Profile) (*Table, error) {
+	d, err := fig6Graph(p)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := d.Load()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Communication cost (§V-C) — measured traffic on %s (stand-in)", d.Name),
+		Header: []string{"p", "partitioning", "total MB", "max-rank MB", "comm imbalance", "bytes/edge"},
+		Notes: []string{
+			"comm imbalance = max-rank bytes ÷ (total/p); 1.00 is perfectly balanced",
+			"paper's shape: delegate partitioning balances communication; 1D concentrates it",
+		},
+	}
+	procs := p.Procs[len(p.Procs)/2:]
+	for _, pp := range procs {
+		if pp < 2 {
+			continue
+		}
+		for _, kind := range []partition.Kind{partition.Delegate, partition.OneD} {
+			res, err := core.Run(g, core.Options{P: pp, Partitioning: kind})
+			if err != nil {
+				return nil, err
+			}
+			total := res.CommStats.TotalBytesSent()
+			maxRank := res.CommStats.MaxBytesSent()
+			imb := float64(maxRank) * float64(pp) / float64(total)
+			t.AddRow(pp, kind.String(),
+				fmt.Sprintf("%.2f", float64(total)/1e6),
+				fmt.Sprintf("%.2f", float64(maxRank)/1e6),
+				fmt.Sprintf("%.2f", imb),
+				fmt.Sprintf("%.1f", float64(total)/float64(g.NumEdges())))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package expt
+
+// Profile scales the experiment suite. Full mirrors the paper's sweeps as
+// closely as a single machine allows; Quick is the fast profile used by
+// tests and short benchmark runs.
+type Profile struct {
+	// Procs is the processor sweep for the scaling experiments
+	// (Figures 7-11). Ranks are goroutines over the in-process transport.
+	Procs []int
+	// PartitionProcs is the sweep for the partition-analysis experiment
+	// (Figure 6), which needs no clustering and therefore keeps the
+	// paper's processor counts.
+	PartitionProcs []int
+	// DefaultP is the world size for single-p experiments
+	// (Figure 5, Table II).
+	DefaultP int
+	// IncludeLarge includes the stand-ins for the paper's billion-edge
+	// datasets.
+	IncludeLarge bool
+}
+
+// Quick is the fast profile (tests, smoke runs).
+func Quick() Profile {
+	return Profile{
+		Procs:          []int{1, 2, 4, 8},
+		PartitionProcs: []int{64, 128, 256},
+		DefaultP:       4,
+		IncludeLarge:   false,
+	}
+}
+
+// Full is the complete profile used by cmd/experiments.
+func Full() Profile {
+	return Profile{
+		Procs:          []int{1, 2, 4, 8, 16, 32},
+		PartitionProcs: []int{1024, 2048, 4096},
+		DefaultP:       8,
+		IncludeLarge:   true,
+	}
+}
+
+func (p Profile) datasets() []Dataset {
+	if p.IncludeLarge {
+		return Datasets()
+	}
+	return SmallDatasets()
+}

@@ -1,0 +1,17 @@
+package expt
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmokeAll runs every experiment at the quick profile; it is the
+// end-to-end regression test of the harness.
+func TestSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	if err := RunAll(Quick(), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

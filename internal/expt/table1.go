@@ -1,0 +1,25 @@
+package expt
+
+import "fmt"
+
+// Table1 reproduces the paper's Table I (dataset census): for every
+// registered dataset it reports the paper's sizes next to the stand-in's
+// actual vertex and edge counts.
+func Table1(p Profile) (*Table, error) {
+	t := &Table{
+		Title:  "Table I — Datasets (paper sizes vs stand-in sizes)",
+		Header: []string{"Name", "Description", "paper #V", "paper #E", "standin #V", "standin #E", "maxDeg"},
+		Notes: []string{
+			"stand-ins are synthetic graphs with matched structure (DESIGN.md §2)",
+		},
+	}
+	for _, d := range p.datasets() {
+		g, _, err := d.Load()
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", d.Name, err)
+		}
+		t.AddRow(d.Name, d.Description, d.PaperV, d.PaperE,
+			g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	}
+	return t, nil
+}

@@ -1,0 +1,27 @@
+package gen
+
+import "testing"
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RMAT(Graph500RMAT(12, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarabasiAlbert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BarabasiAlbert(10000, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLFR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LFR(DefaultLFR(5000, 0.3, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

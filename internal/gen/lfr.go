@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LFRConfig parameterizes the LFR-style planted-partition benchmark
+// (Lancichinetti & Fortunato). Degrees follow a power law with exponent
+// DegreeExp on [MinDegree, MaxDegree]; community sizes follow a power law
+// with exponent CommExp on [MinComm, MaxComm]; each vertex places a fraction
+// (1-Mu) of its stubs inside its community and Mu outside.
+type LFRConfig struct {
+	N         int     // number of vertices
+	MinDegree int     // minimum degree (>= 1)
+	MaxDegree int     // maximum degree
+	DegreeExp float64 // degree power-law exponent (typically 2..3)
+	MinComm   int     // minimum community size
+	MaxComm   int     // maximum community size
+	CommExp   float64 // community-size power-law exponent (typically 1..2)
+	Mu        float64 // mixing parameter in [0,1): fraction of external stubs
+	Seed      int64
+}
+
+// DefaultLFR returns the configuration used for the paper's LFR stand-ins:
+// a community-rich graph with moderate mixing.
+func DefaultLFR(n int, mu float64, seed int64) LFRConfig {
+	maxDeg := n / 10
+	if maxDeg < 8 {
+		maxDeg = 8
+	}
+	if maxDeg > 100 {
+		maxDeg = 100
+	}
+	maxComm := n / 10
+	if maxComm < 20 {
+		maxComm = 20
+	}
+	if maxComm > 500 {
+		maxComm = 500
+	}
+	return LFRConfig{
+		N: n, MinDegree: 4, MaxDegree: maxDeg, DegreeExp: 2.5,
+		MinComm: 10, MaxComm: maxComm, CommExp: 1.5,
+		Mu: mu, Seed: seed,
+	}
+}
+
+func (c LFRConfig) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("gen: LFR N = %d, want >= 2", c.N)
+	case c.MinDegree < 1 || c.MaxDegree < c.MinDegree || c.MaxDegree >= c.N:
+		return fmt.Errorf("gen: LFR degree bounds [%d,%d] invalid for N = %d", c.MinDegree, c.MaxDegree, c.N)
+	case c.MinComm < 2 || c.MaxComm < c.MinComm || c.MaxComm > c.N:
+		return fmt.Errorf("gen: LFR community bounds [%d,%d] invalid for N = %d", c.MinComm, c.MaxComm, c.N)
+	case c.Mu < 0 || c.Mu >= 1:
+		return fmt.Errorf("gen: LFR mu = %g out of [0,1)", c.Mu)
+	}
+	return nil
+}
+
+// LFR generates an LFR-style benchmark graph and its planted membership.
+//
+// The generator follows the standard recipe: sample power-law degrees and
+// community sizes, assign vertices to communities (a vertex's internal
+// degree must fit inside its community), then wire internal stubs within
+// each community and external stubs across communities with a configuration
+// model, rejecting self-loops and duplicates.
+func LFR(cfg LFRConfig) (*graph.Graph, graph.Membership, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	degrees := powerLawInts(rng, cfg.N, cfg.MinDegree, cfg.MaxDegree, cfg.DegreeExp)
+
+	// Sample community sizes until they cover N, then trim the overshoot.
+	var sizes []int
+	total := 0
+	for total < cfg.N {
+		s := powerLawInts(rng, 1, cfg.MinComm, cfg.MaxComm, cfg.CommExp)[0]
+		if total+s > cfg.N {
+			s = cfg.N - total
+			if s < cfg.MinComm && len(sizes) > 0 {
+				// fold the remainder into the last community
+				sizes[len(sizes)-1] += s
+				total += s
+				break
+			}
+		}
+		sizes = append(sizes, s)
+		total += s
+	}
+
+	// Assign vertices to communities. Vertices with larger internal degree
+	// go to larger communities so that intDeg <= size-1 holds.
+	intDeg := make([]int, cfg.N)
+	extDeg := make([]int, cfg.N)
+	for u := 0; u < cfg.N; u++ {
+		internal := int(float64(degrees[u])*(1-cfg.Mu) + 0.5)
+		if internal > degrees[u] {
+			internal = degrees[u]
+		}
+		intDeg[u] = internal
+		extDeg[u] = degrees[u] - internal
+	}
+	order := make([]int, cfg.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return intDeg[order[i]] > intDeg[order[j]] })
+	commOrder := make([]int, len(sizes))
+	for i := range commOrder {
+		commOrder[i] = i
+	}
+	sort.Slice(commOrder, func(i, j int) bool { return sizes[commOrder[i]] > sizes[commOrder[j]] })
+
+	member := make(graph.Membership, cfg.N)
+	slots := make([][]int, len(sizes)) // members per community
+	// Round-robin the highest-internal-degree vertices over the largest
+	// communities first, clipping internal degree to size-1.
+	ci := 0
+	for _, u := range order {
+		// find a community with space, preferring larger ones
+		for tries := 0; tries < len(sizes); tries++ {
+			c := commOrder[(ci+tries)%len(sizes)]
+			if len(slots[c]) < sizes[c] {
+				member[u] = c
+				slots[c] = append(slots[c], u)
+				if intDeg[u] > sizes[c]-1 {
+					over := intDeg[u] - (sizes[c] - 1)
+					intDeg[u] = sizes[c] - 1
+					extDeg[u] += over
+				}
+				ci++
+				break
+			}
+		}
+	}
+
+	edgeSet := make(map[[2]int32]struct{})
+	var edges []graph.Edge
+	addEdge := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		a, b := int32(u), int32(v)
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int32{a, b}
+		if _, dup := edgeSet[key]; dup {
+			return false
+		}
+		edgeSet[key] = struct{}{}
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		return true
+	}
+
+	// Internal wiring: configuration model per community.
+	for c := range slots {
+		var stubs []int
+		for _, u := range slots[c] {
+			for i := 0; i < intDeg[u]; i++ {
+				stubs = append(stubs, u)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		for i := 0; i+1 < len(stubs); i += 2 {
+			addEdge(stubs[i], stubs[i+1]) // rejected pairs are simply dropped
+		}
+	}
+
+	// External wiring: configuration model across communities.
+	var ext []int
+	for u := 0; u < cfg.N; u++ {
+		for i := 0; i < extDeg[u]; i++ {
+			ext = append(ext, u)
+		}
+	}
+	rng.Shuffle(len(ext), func(i, j int) { ext[i], ext[j] = ext[j], ext[i] })
+	for i := 0; i+1 < len(ext); i += 2 {
+		u, v := ext[i], ext[i+1]
+		if member[u] == member[v] {
+			continue // keep mixing honest: drop accidental intra pairs
+		}
+		addEdge(u, v)
+	}
+
+	// Guarantee no isolated vertices: attach any degree-0 vertex to a
+	// random member of its community (or any vertex if alone).
+	degCount := make([]int, cfg.N)
+	for _, e := range edges {
+		degCount[e.U]++
+		degCount[e.V]++
+	}
+	for u := 0; u < cfg.N; u++ {
+		if degCount[u] > 0 {
+			continue
+		}
+		peers := slots[member[u]]
+		for tries := 0; tries < 8; tries++ {
+			v := peers[rng.Intn(len(peers))]
+			if addEdge(u, v) {
+				degCount[u]++
+				degCount[v]++
+				break
+			}
+		}
+		if degCount[u] == 0 {
+			v := rng.Intn(cfg.N)
+			if addEdge(u, v) {
+				degCount[u]++
+				degCount[v]++
+			}
+		}
+	}
+
+	g, err := graph.FromEdges(cfg.N, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, member, nil
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, e int) []Edge {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{U: rng.Intn(n), V: rng.Intn(n), W: 1}
+	}
+	return edges
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	n, e := 10000, 80000
+	edges := benchEdges(n, e)
+	b.SetBytes(int64(e * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModularity(b *testing.B) {
+	n, e := 10000, 80000
+	g, err := FromEdges(n, benchEdges(n, e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := make(Membership, n)
+	for i := range m {
+		m[i] = i % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Modularity(g, m)
+	}
+}
+
+func BenchmarkNeighborIteration(b *testing.B) {
+	n, e := 10000, 80000
+	g, err := FromEdges(n, benchEdges(n, e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for u := 0; u < g.NumVertices(); u++ {
+			_, ws := g.Neighbors(u)
+			for _, w := range ws {
+				sum += w
+			}
+		}
+		if sum <= 0 {
+			b.Fatal("bad sum")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+// ConnectedComponents labels each vertex with its connected component
+// (dense labels 0..K-1 in order of first appearance) and returns the
+// labeling and the component count. Isolated vertices form singleton
+// components.
+func ConnectedComponents(g *Graph) (Membership, int) {
+	n := g.NumVertices()
+	labels := make(Membership, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	comp := 0
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = comp
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			lo, hi := g.ArcRange(u)
+			for a := lo; a < hi; a++ {
+				v := g.ArcTarget(a)
+				if labels[v] < 0 {
+					labels[v] = comp
+					queue = append(queue, v)
+				}
+			}
+		}
+		comp++
+	}
+	return labels, comp
+}
+
+// LargestComponent returns the vertex count of the largest connected
+// component (0 for an empty graph).
+func LargestComponent(g *Graph) int {
+	labels, k := ConnectedComponents(g)
+	if k == 0 {
+		return 0
+	}
+	counts := make([]int, k)
+	for _, c := range labels {
+		counts[c]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the text parser against arbitrary input: it
+// must return an error or a structurally valid graph, never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 2.5\n")
+	f.Add("# vertices 10\n0 1 1\n")
+	f.Add("")
+	f.Add("x y z\n")
+	f.Add("-1 -2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted input %q but produced invalid graph: %v", input, err)
+		}
+	})
+}
+
+// FuzzReadBinary exercises the binary parser against arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	g, err := FromEdges(4, []Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xa1, 0x50, 0x72, 0x47, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must at least have sane counts.
+		if g.NumVertices() < 0 || g.NumArcs() < 0 {
+			t.Fatal("negative sizes")
+		}
+	})
+}

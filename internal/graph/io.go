@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// WriteEdgeList writes the graph as a text edge list: one "u v w" line per
+// undirected edge (u <= v), preceded by a "# vertices N" header line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		lo, hi := g.ArcRange(u)
+		for a := lo; a < hi; a++ {
+			v := g.ArcTarget(a)
+			if u <= v {
+				if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, v, g.ArcWeight(a)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format written by WriteEdgeList. It also
+// accepts headerless SNAP-style lists ("u v" or "u v w" per line, '#'
+// comments); in that case the vertex count is 1 + the maximum endpoint.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var declared int
+			if _, err := fmt.Sscanf(line, "# vertices %d", &declared); err == nil {
+				n = declared
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	return FromEdges(n, edges)
+}
+
+const binaryMagic = uint32(0x477250A1) // "GrP" + version 1
+
+// WriteBinary writes the graph in a compact binary format (wire encoding).
+func WriteBinary(w io.Writer, g *Graph) error {
+	buf := wire.NewBuffer(int(g.NumArcs())*3 + 64)
+	buf.PutU32(binaryMagic)
+	buf.PutUvarint(uint64(g.NumVertices()))
+	buf.PutUvarint(uint64(g.NumArcs()))
+	for u := 0; u < g.NumVertices(); u++ {
+		lo, hi := g.ArcRange(u)
+		buf.PutUvarint(uint64(hi - lo))
+		prev := int64(0)
+		for a := lo; a < hi; a++ {
+			t := int64(g.ArcTarget(a))
+			buf.PutVarint(t - prev) // delta-coded sorted targets
+			prev = t
+			buf.PutF64(g.ArcWeight(a))
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBinary parses the format written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(data)
+	if m := rd.U32(); m != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x (want %#x)", m, binaryMagic)
+	}
+	n := int(rd.Uvarint())
+	arcs := int64(rd.Uvarint())
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || arcs < 0 {
+		return nil, fmt.Errorf("graph: corrupt header (n=%d arcs=%d)", n, arcs)
+	}
+	targets := make([][]int32, n)
+	weights := make([][]float64, n)
+	var seen int64
+	for u := 0; u < n; u++ {
+		d := int(rd.Uvarint())
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		ts := make([]int32, d)
+		ws := make([]float64, d)
+		prev := int64(0)
+		for i := 0; i < d; i++ {
+			t := prev + rd.Varint()
+			prev = t
+			ts[i] = int32(t)
+			ws[i] = rd.F64()
+		}
+		targets[u] = ts
+		weights[u] = ws
+		seen += int64(d)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if seen != arcs {
+		return nil, fmt.Errorf("graph: arc count mismatch: header %d, body %d", arcs, seen)
+	}
+	return FromArcLists(n, targets, weights)
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		return false
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		at, aw := a.Neighbors(u)
+		bt, bw := b.Neighbors(u)
+		if len(at) != len(bt) {
+			return false
+		}
+		for i := range at {
+			if at[i] != bt[i] || aw[i] != bw[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := FromEdges(5, []Edge{{0, 1, 2.5}, {1, 2, 1}, {3, 3, 4}, {2, 4, 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("edge list round trip mismatch")
+	}
+}
+
+func TestReadEdgeListHeaderless(t *testing.T) {
+	in := "# a comment\n0 1\n1 2 2.5\n\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.WeightedDegree(1) != 3.5 {
+		t.Errorf("WeightedDegree(1) = %g, want 3.5", g.WeightedDegree(1))
+	}
+}
+
+func TestReadEdgeListPreservesIsolatedTail(t *testing.T) {
+	// header declares more vertices than appear in edges
+	in := "# vertices 10\n0 1 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Errorf("NumVertices = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "x y\n", "0 y\n", "0 1 z\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q: expected error", bad)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := make([]Edge, 500)
+	for i := range edges {
+		edges[i] = Edge{U: rng.Intn(100), V: rng.Intn(100), W: rng.Float64() * 10}
+	}
+	g, err := FromEdges(100, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("binary round trip mismatch")
+	}
+	if g2.TotalWeight2() != g.TotalWeight2() {
+		t.Errorf("2m mismatch: %g vs %g", g2.TotalWeight2(), g.TotalWeight2())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g, err := FromEdges(10, []Edge{{0, 1, 1}, {2, 3, 1}, {4, 5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 6, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d: expected error", cut)
+		}
+	}
+}

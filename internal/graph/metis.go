@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS graph format support. The format's header line is "n m [fmt]",
+// where n is the vertex count, m the undirected edge count, and fmt a
+// 3-digit flag string whose last digit enables edge weights ("001") —
+// vertex sizes and weights (the first two digits) are not supported.
+// Line i (1-based, after the header) lists vertex i's neighbors as
+// 1-based indices, optionally interleaved with edge weights. '%' starts a
+// comment line.
+
+// WriteMETIS writes g in METIS format with edge weights (fmt "001").
+// Self-loops are not representable in METIS and are rejected.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	var loops int64
+	for u := 0; u < n; u++ {
+		if g.SelfLoopWeight(u) != 0 {
+			return fmt.Errorf("graph: METIS cannot represent self-loop at vertex %d", u)
+		}
+	}
+	m := (g.NumArcs() - loops) / 2
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", n, m); err != nil {
+		return err
+	}
+	for u := 0; u < n; u++ {
+		ts, ws := g.Neighbors(u)
+		for i := range ts {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %g", ts[i]+1, ws[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS graph file (fmt "000" unweighted or "001"
+// edge-weighted).
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header.
+	var n int
+	var m int64
+	weighted := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("graph: METIS header needs 2-4 fields, got %q", line)
+		}
+		var err error
+		n, err = strconv.Atoi(fields[0])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("graph: METIS bad vertex count %q", fields[0])
+		}
+		m, err = strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || m < 0 {
+			return nil, fmt.Errorf("graph: METIS bad edge count %q", fields[1])
+		}
+		if len(fields) >= 3 {
+			switch fields[2] {
+			case "0", "00", "000":
+			case "1", "01", "001":
+				weighted = true
+			default:
+				return nil, fmt.Errorf("graph: METIS fmt %q not supported (only edge weights)", fields[2])
+			}
+		}
+		break
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	targets := make([][]int32, n)
+	weights := make([][]float64, n)
+	u := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		if u >= n {
+			if line == "" {
+				continue
+			}
+			return nil, fmt.Errorf("graph: METIS has more than %d adjacency lines", n)
+		}
+		fields := strings.Fields(line)
+		step := 1
+		if weighted {
+			step = 2
+			if len(fields)%2 != 0 {
+				return nil, fmt.Errorf("graph: METIS vertex %d: odd field count with edge weights", u+1)
+			}
+		}
+		for i := 0; i < len(fields); i += step {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil || v < 1 || v > n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: bad neighbor %q", u+1, fields[i])
+			}
+			w := 1.0
+			if weighted {
+				w, err = strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d: bad weight %q", u+1, fields[i+1])
+				}
+			}
+			targets[u] = append(targets[u], int32(v-1))
+			weights[u] = append(weights[u], w)
+		}
+		u++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if u != n {
+		return nil, fmt.Errorf("graph: METIS has %d adjacency lines, want %d", u, n)
+	}
+	g, err := FromArcLists(n, targets, weights)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: METIS adjacency not symmetric: %w", err)
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: METIS header declares %d edges, body has %d", m, g.NumEdges())
+	}
+	return g, nil
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var edges []Edge
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(50), rng.Intn(50)
+		if u == v {
+			continue // METIS cannot hold self-loops
+		}
+		edges = append(edges, Edge{U: u, V: v, W: float64(1 + rng.Intn(5))})
+	}
+	g, err := FromEdges(50, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("METIS round trip mismatch")
+	}
+}
+
+func TestMETISUnweighted(t *testing.T) {
+	// Classic METIS example: a path 1-2-3 with an extra edge 1-3.
+	in := "% a comment\n3 3\n2 3\n1 3\n1 2\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.WeightedDegree(0) != 2 {
+		t.Errorf("WeightedDegree(0) = %g", g.WeightedDegree(0))
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []string{
+		"x 3\n",               // bad vertex count
+		"2 1 011\n2\n1\n",     // unsupported fmt
+		"2 1\n2\n",            // missing adjacency line
+		"2 1\n2\n1\n1 2\n",    // too many adjacency lines
+		"2 1\n3\n1\n",         // neighbor out of range
+		"2 1 001\n2\n1 1\n",   // odd field count under weights (line 1)
+		"2 5\n2\n1\n",         // edge count mismatch
+		"2 1\n2\n2\n",         // asymmetric adjacency
+		"2 1 001\n2 x\n1 x\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestMETISRejectsSelfLoops(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 1, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err == nil {
+		t.Error("expected error for self-loop")
+	}
+}
+
+func TestMETISEmptyGraph(t *testing.T) {
+	g, err := ReadMETIS(strings.NewReader("0 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+}

@@ -1,0 +1,26 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	g, err := gen.RMAT(gen.Graph500RMAT(13, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []Kind{OneD, Delegate} {
+		for _, p := range []int{16, 256} {
+			b.Run(fmt.Sprintf("%s/p=%d", kind, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Build(g, Options{P: p, Kind: kind, DHigh: 64}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

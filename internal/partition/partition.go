@@ -1,0 +1,388 @@
+// Package partition implements the graph partitioning strategies of the
+// paper: plain 1D round-robin partitioning and the distributed delegate
+// partitioning extended from Pearce et al.
+//
+// Delegate partitioning duplicates high-degree vertices ("hubs", degree >=
+// DHigh) on every rank. Arcs whose source is a low-degree vertex go to the
+// source's owner (so an owner always sees its vertex's complete adjacency);
+// arcs whose source is a hub initially go to the target's owner and are then
+// rebalanced freely across ranks until every rank holds ≈ |arcs|/p arcs.
+//
+// The package also produces the per-rank census (arc counts, ghost counts,
+// workload imbalance W = max/avg − 1) that the paper reports in Figure 6.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind selects the partitioning strategy.
+type Kind int
+
+const (
+	// Delegate duplicates hubs on all ranks and rebalances hub arcs,
+	// following Pearce et al. as extended by the paper. It is the zero
+	// value: the paper's method is the default everywhere.
+	Delegate Kind = iota
+	// OneD is round-robin 1D partitioning: vertex v and all its arcs are
+	// owned by rank v mod p. This is the baseline the paper compares
+	// against (Cheong-style distributed Louvain).
+	OneD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OneD:
+		return "1d"
+	case Delegate:
+		return "delegate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Arc is one directed arc of a local subgraph, in global vertex IDs.
+type Arc struct {
+	To int
+	W  float64
+}
+
+// Subgraph is the portion of the graph materialized on one rank.
+//
+// Owned lists the low-degree vertices owned by this rank (every global
+// vertex that is not a hub appears in exactly one rank's Owned, including
+// isolated vertices). Hubs lists all hub vertices; the list is identical on
+// every rank, but AdjHub holds only this rank's share of each hub's arcs.
+type Subgraph struct {
+	Rank int
+	P    int
+
+	// GlobalVertices is the vertex count of the global graph this subgraph
+	// was cut from (vertex IDs are < GlobalVertices).
+	GlobalVertices int
+
+	Owned    []int   // sorted global IDs of owned low-degree vertices
+	AdjOwned [][]Arc // complete adjacency of each owned vertex
+
+	Hubs    []int     // sorted global hub IDs (same on all ranks)
+	HubWDeg []float64 // global weighted degree of each hub
+	AdjHub  [][]Arc   // this rank's share of each hub's arcs
+
+	Ghosts []int // sorted global IDs of non-local, non-hub arc targets
+
+	// Subscribers maps an owned vertex to the set of other ranks holding it
+	// as a ghost; the owner pushes community updates to these ranks.
+	Subscribers map[int][]int
+
+	// OwnedWDeg is the weighted degree of each owned vertex (parallel to
+	// Owned). For owned vertices the local adjacency is complete, so this
+	// equals the global weighted degree.
+	OwnedWDeg []float64
+
+	// TotalWeight2 is the global 2m, shared by all ranks.
+	TotalWeight2 float64
+}
+
+// NumLocalArcs returns the number of arcs stored on this rank.
+func (s *Subgraph) NumLocalArcs() int64 {
+	var n int64
+	for _, a := range s.AdjOwned {
+		n += int64(len(a))
+	}
+	for _, a := range s.AdjHub {
+		n += int64(len(a))
+	}
+	return n
+}
+
+// Options configures Build.
+type Options struct {
+	P     int  // number of ranks, >= 1
+	Kind  Kind // OneD or Delegate
+	DHigh int  // hub degree threshold; <= 0 means DHigh = P (the paper's setting)
+}
+
+// Layout is a full partitioning of a graph: one Subgraph per rank plus the
+// global hub directory.
+type Layout struct {
+	P     int
+	Kind  Kind
+	DHigh int
+	Hubs  []int
+	Parts []*Subgraph
+}
+
+// Owner returns the owning rank of a low-degree (non-hub) vertex.
+func Owner(v, p int) int { return v % p }
+
+// Build partitions g across opt.P ranks.
+func Build(g *graph.Graph, opt Options) (*Layout, error) {
+	if opt.P < 1 {
+		return nil, fmt.Errorf("partition: P = %d, want >= 1", opt.P)
+	}
+	dhigh := opt.DHigh
+	if dhigh <= 0 {
+		dhigh = opt.P
+	}
+	p := opt.P
+	n := g.NumVertices()
+
+	// Identify hubs.
+	isHub := make([]bool, n)
+	var hubs []int
+	if opt.Kind == Delegate {
+		for u := 0; u < n; u++ {
+			if g.Degree(u) >= dhigh {
+				isHub[u] = true
+				hubs = append(hubs, u)
+			}
+		}
+	}
+	hubIndex := make(map[int]int, len(hubs))
+	for i, h := range hubs {
+		hubIndex[h] = i
+	}
+
+	parts := make([]*Subgraph, p)
+	for r := 0; r < p; r++ {
+		parts[r] = &Subgraph{
+			Rank: r, P: p,
+			GlobalVertices: n,
+			Hubs:           hubs,
+			Subscribers:    make(map[int][]int),
+		}
+		if len(hubs) > 0 {
+			parts[r].HubWDeg = make([]float64, len(hubs))
+			parts[r].AdjHub = make([][]Arc, len(hubs))
+			for i, h := range hubs {
+				parts[r].HubWDeg[i] = g.WeightedDegree(h)
+			}
+		}
+	}
+
+	// Assign owned low vertices (round-robin) with their full adjacency.
+	for u := 0; u < n; u++ {
+		if isHub[u] {
+			continue
+		}
+		r := Owner(u, p)
+		sp := parts[r]
+		sp.Owned = append(sp.Owned, u)
+		sp.OwnedWDeg = append(sp.OwnedWDeg, g.WeightedDegree(u))
+		ts, ws := g.Neighbors(u)
+		adj := make([]Arc, len(ts))
+		for i := range ts {
+			adj[i] = Arc{To: int(ts[i]), W: ws[i]}
+		}
+		sp.AdjOwned = append(sp.AdjOwned, adj)
+	}
+
+	// Assign hub arcs. Initially each hub arc (h, v) goes to the owner of
+	// its target (co-locating delegate and target); hub→hub arcs go to a
+	// spill pool for balancing; then a correction pass moves hub arcs from
+	// overloaded to underloaded ranks.
+	if opt.Kind == Delegate && len(hubs) > 0 {
+		loads := make([]int64, p)
+		for r := 0; r < p; r++ {
+			loads[r] = parts[r].NumLocalArcs()
+		}
+		type hubArc struct {
+			hub int // index into hubs
+			to  int
+			w   float64
+		}
+		var pool []hubArc // arcs free to place anywhere (hub→hub)
+		for _, h := range hubs {
+			hi := hubIndex[h]
+			ts, ws := g.Neighbors(h)
+			for i := range ts {
+				v := int(ts[i])
+				if isHub[v] {
+					pool = append(pool, hubArc{hub: hi, to: v, w: ws[i]})
+					continue
+				}
+				r := Owner(v, p)
+				parts[r].AdjHub[hi] = append(parts[r].AdjHub[hi], Arc{To: v, W: ws[i]})
+				loads[r]++
+			}
+		}
+		// Place pool arcs on the currently least-loaded ranks.
+		for _, a := range pool {
+			r := minLoadRank(loads)
+			parts[r].AdjHub[a.hub] = append(parts[r].AdjHub[a.hub], Arc{To: a.to, W: a.w})
+			loads[r]++
+		}
+		// Correction pass: move hub→low arcs from overloaded ranks to
+		// underloaded ones until loads are within one arc of the average.
+		rebalance(parts, loads)
+	}
+
+	// Ghost discovery and subscriber lists from the final arc placement.
+	for r := 0; r < p; r++ {
+		sp := parts[r]
+		ghostSet := make(map[int]struct{})
+		note := func(v int) {
+			if isHub[v] || Owner(v, p) == r {
+				return
+			}
+			ghostSet[v] = struct{}{}
+		}
+		for _, adj := range sp.AdjOwned {
+			for _, a := range adj {
+				note(a.To)
+			}
+		}
+		for _, adj := range sp.AdjHub {
+			for _, a := range adj {
+				note(a.To)
+			}
+		}
+		sp.Ghosts = make([]int, 0, len(ghostSet))
+		for v := range ghostSet {
+			sp.Ghosts = append(sp.Ghosts, v)
+		}
+		sort.Ints(sp.Ghosts)
+		for _, v := range sp.Ghosts {
+			owner := parts[Owner(v, p)]
+			owner.Subscribers[v] = append(owner.Subscribers[v], r)
+		}
+		sp.TotalWeight2 = g.TotalWeight2()
+	}
+	for r := 0; r < p; r++ {
+		for v := range parts[r].Subscribers {
+			sort.Ints(parts[r].Subscribers[v])
+		}
+	}
+
+	return &Layout{P: p, Kind: opt.Kind, DHigh: dhigh, Hubs: hubs, Parts: parts}, nil
+}
+
+func minLoadRank(loads []int64) int {
+	best := 0
+	for r := 1; r < len(loads); r++ {
+		if loads[r] < loads[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// rebalance moves hub arcs from overloaded to underloaded ranks. Only arcs
+// whose source is a hub may move (the source delegate exists everywhere).
+func rebalance(parts []*Subgraph, loads []int64) {
+	p := len(parts)
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	avg := total / int64(p)
+	// Ranks with load > avg+1 donate hub arcs; ranks below avg receive.
+	type donation struct {
+		hub int
+		a   Arc
+	}
+	var spare []donation
+	for r := 0; r < p; r++ {
+		sp := parts[r]
+		for loads[r] > avg+1 {
+			moved := false
+			for hi := range sp.AdjHub {
+				if len(sp.AdjHub[hi]) == 0 {
+					continue
+				}
+				last := len(sp.AdjHub[hi]) - 1
+				spare = append(spare, donation{hub: hi, a: sp.AdjHub[hi][last]})
+				sp.AdjHub[hi] = sp.AdjHub[hi][:last]
+				loads[r]--
+				moved = true
+				if loads[r] <= avg+1 {
+					break
+				}
+			}
+			if !moved {
+				break // nothing left to donate on this rank
+			}
+		}
+	}
+	si := 0
+	for r := 0; r < p && si < len(spare); r++ {
+		for loads[r] < avg && si < len(spare) {
+			d := spare[si]
+			si++
+			parts[r].AdjHub[d.hub] = append(parts[r].AdjHub[d.hub], d.a)
+			loads[r]++
+		}
+	}
+	// Any remainder goes to the least-loaded ranks.
+	for ; si < len(spare); si++ {
+		r := minLoadRank(loads)
+		d := spare[si]
+		parts[r].AdjHub[d.hub] = append(parts[r].AdjHub[d.hub], d.a)
+		loads[r]++
+	}
+}
+
+// Census reports the per-rank workload and communication measures of a
+// layout, matching the paper's Figure 6.
+type Census struct {
+	ArcsPerRank   []int64
+	GhostsPerRank []int
+	HubCount      int
+}
+
+// Census computes the layout's census.
+func (l *Layout) Census() Census {
+	c := Census{
+		ArcsPerRank:   make([]int64, l.P),
+		GhostsPerRank: make([]int, l.P),
+		HubCount:      len(l.Hubs),
+	}
+	for r, sp := range l.Parts {
+		c.ArcsPerRank[r] = sp.NumLocalArcs()
+		c.GhostsPerRank[r] = len(sp.Ghosts)
+	}
+	return c
+}
+
+// ImbalanceW returns the paper's workload imbalance measure
+// W = |E_max| / |E_avg| − 1 over per-rank arc counts.
+func (c Census) ImbalanceW() float64 {
+	if len(c.ArcsPerRank) == 0 {
+		return 0
+	}
+	var sum, maxv int64
+	for _, a := range c.ArcsPerRank {
+		sum += a
+		if a > maxv {
+			maxv = a
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(len(c.ArcsPerRank))
+	return float64(maxv)/avg - 1
+}
+
+// MaxGhosts returns the maximum per-rank ghost count.
+func (c Census) MaxGhosts() int {
+	m := 0
+	for _, g := range c.GhostsPerRank {
+		if g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// TotalArcs returns the total arc count across ranks.
+func (c Census) TotalArcs() int64 {
+	var t int64
+	for _, a := range c.ArcsPerRank {
+		t += a
+	}
+	return t
+}

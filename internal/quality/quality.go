@@ -1,0 +1,284 @@
+// Package quality implements the clustering-quality measures reported in the
+// paper's Table II: Normalized Mutual Information (NMI), F-measure, the
+// normalized Van Dongen metric (NVD), the Rand Index (RI), the Adjusted Rand
+// Index (ARI), and the Jaccard Index (JI).
+//
+// All measures compare a detected membership against a reference (ground
+// truth) membership over the same vertex set. Except for NVD, higher is
+// better; NVD is a distance (lower is better).
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Scores bundles all Table II measures.
+type Scores struct {
+	NMI      float64
+	FMeasure float64
+	NVD      float64
+	RI       float64
+	ARI      float64
+	JI       float64
+}
+
+// contingency is the joint count table between two memberships.
+type contingency struct {
+	n     int
+	table map[[2]int]int // (a-label, b-label) → count
+	rows  map[int]int    // a-label → count
+	cols  map[int]int    // b-label → count
+}
+
+func buildContingency(a, b graph.Membership) (*contingency, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("quality: membership lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("quality: empty memberships")
+	}
+	c := &contingency{
+		n:     len(a),
+		table: make(map[[2]int]int),
+		rows:  make(map[int]int),
+		cols:  make(map[int]int),
+	}
+	for i := range a {
+		c.table[[2]int{a[i], b[i]}]++
+		c.rows[a[i]]++
+		c.cols[b[i]]++
+	}
+	return c, nil
+}
+
+// Compare computes all measures between detected and truth.
+func Compare(detected, truth graph.Membership) (Scores, error) {
+	c, err := buildContingency(detected, truth)
+	if err != nil {
+		return Scores{}, err
+	}
+	return Scores{
+		NMI:      c.nmi(),
+		FMeasure: c.fMeasure(),
+		NVD:      c.nvd(),
+		RI:       c.randIndex(),
+		ARI:      c.adjustedRand(),
+		JI:       c.jaccard(),
+	}, nil
+}
+
+// NMI returns the normalized mutual information with arithmetic-mean
+// normalization: NMI = 2·I(A;B) / (H(A)+H(B)). Both memberships identical
+// gives 1; independent labelings give ≈ 0. If both partitions are trivial
+// (single cluster each), NMI is defined as 1.
+func NMI(a, b graph.Membership) (float64, error) {
+	c, err := buildContingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return c.nmi(), nil
+}
+
+func (c *contingency) nmi() float64 {
+	n := float64(c.n)
+	var ha, hb, mi float64
+	for _, cnt := range c.rows {
+		p := float64(cnt) / n
+		ha -= p * math.Log(p)
+	}
+	for _, cnt := range c.cols {
+		p := float64(cnt) / n
+		hb -= p * math.Log(p)
+	}
+	for key, cnt := range c.table {
+		pij := float64(cnt) / n
+		pi := float64(c.rows[key[0]]) / n
+		pj := float64(c.cols[key[1]]) / n
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	if ha+hb == 0 {
+		return 1 // both partitions trivial and identical
+	}
+	v := 2 * mi / (ha + hb)
+	// clamp numerical noise
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// fMeasure computes the symmetric average best-match F1: for each reference
+// community, the best F1 over detected communities, size-weighted, averaged
+// in both directions.
+func (c *contingency) fMeasure() float64 {
+	return (c.directedF(true) + c.directedF(false)) / 2
+}
+
+func (c *contingency) directedF(rowsAsTruth bool) float64 {
+	// bestF[x] = best F1 of community x (in the "from" partition) against
+	// any community of the other partition.
+	from, to := c.rows, c.cols
+	if !rowsAsTruth {
+		from, to = c.cols, c.rows
+	}
+	bestF := make(map[int]float64, len(from))
+	for key, cnt := range c.table {
+		a, b := key[0], key[1]
+		if !rowsAsTruth {
+			a, b = b, a
+		}
+		inter := float64(cnt)
+		prec := inter / float64(to[b])
+		rec := inter / float64(from[a])
+		f := 2 * prec * rec / (prec + rec)
+		if f > bestF[a] {
+			bestF[a] = f
+		}
+	}
+	var sum float64
+	for x, cnt := range from {
+		sum += float64(cnt) * bestF[x]
+	}
+	return sum / float64(c.n)
+}
+
+// nvd computes the normalized Van Dongen distance:
+//
+//	NVD = 1 − (1/2n)·(Σ_a max_b n_ab + Σ_b max_a n_ab)
+//
+// 0 means identical partitions; higher is worse.
+func (c *contingency) nvd() float64 {
+	maxRow := make(map[int]int)
+	maxCol := make(map[int]int)
+	for key, cnt := range c.table {
+		if cnt > maxRow[key[0]] {
+			maxRow[key[0]] = cnt
+		}
+		if cnt > maxCol[key[1]] {
+			maxCol[key[1]] = cnt
+		}
+	}
+	var s int
+	for _, v := range maxRow {
+		s += v
+	}
+	for _, v := range maxCol {
+		s += v
+	}
+	return 1 - float64(s)/float64(2*c.n)
+}
+
+// pairCounts returns the pair-confusion quantities:
+// a = pairs together in both, b = together in A only, c2 = together in B
+// only, d = together in neither.
+func (c *contingency) pairCounts() (a, b, c2, d float64) {
+	comb2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumIJ, sumI, sumJ float64
+	for _, cnt := range c.table {
+		sumIJ += comb2(cnt)
+	}
+	for _, cnt := range c.rows {
+		sumI += comb2(cnt)
+	}
+	for _, cnt := range c.cols {
+		sumJ += comb2(cnt)
+	}
+	total := comb2(c.n)
+	a = sumIJ
+	b = sumI - sumIJ
+	c2 = sumJ - sumIJ
+	d = total - sumI - sumJ + sumIJ
+	return
+}
+
+func (c *contingency) randIndex() float64 {
+	a, b, c2, d := c.pairCounts()
+	tot := a + b + c2 + d
+	if tot == 0 {
+		return 1
+	}
+	return (a + d) / tot
+}
+
+func (c *contingency) adjustedRand() float64 {
+	a, b, c2, d := c.pairCounts()
+	tot := a + b + c2 + d
+	if tot == 0 {
+		return 1
+	}
+	sumI := a + b
+	sumJ := a + c2
+	expected := sumI * sumJ / tot
+	maxIdx := (sumI + sumJ) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial in the same way
+	}
+	return (a - expected) / (maxIdx - expected)
+}
+
+func (c *contingency) jaccard() float64 {
+	a, b, c2, _ := c.pairCounts()
+	den := a + b + c2
+	if den == 0 {
+		return 1
+	}
+	return a / den
+}
+
+// VScores are the information-theoretic homogeneity/completeness measures
+// of Rosenberg & Hirschberg (beyond the paper's Table II; provided as an
+// extension for downstream users).
+type VScores struct {
+	// Homogeneity is 1 when every detected cluster contains members of a
+	// single truth class.
+	Homogeneity float64
+	// Completeness is 1 when every truth class lands in a single detected
+	// cluster.
+	Completeness float64
+	// V is their harmonic mean.
+	V float64
+}
+
+// VMeasure computes homogeneity, completeness, and their harmonic mean
+// between a detected membership and the reference truth.
+func VMeasure(detected, truth graph.Membership) (VScores, error) {
+	c, err := buildContingency(detected, truth)
+	if err != nil {
+		return VScores{}, err
+	}
+	n := float64(c.n)
+	entropy := func(counts map[int]int) float64 {
+		var h float64
+		for _, cnt := range counts {
+			p := float64(cnt) / n
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	hDet := entropy(c.rows)   // H(detected)
+	hTruth := entropy(c.cols) // H(truth)
+	// Conditional entropies from the joint table.
+	var hTruthGivenDet, hDetGivenTruth float64
+	for key, cnt := range c.table {
+		pij := float64(cnt) / n
+		hTruthGivenDet -= pij * math.Log(float64(cnt)/float64(c.rows[key[0]]))
+		hDetGivenTruth -= pij * math.Log(float64(cnt)/float64(c.cols[key[1]]))
+	}
+	s := VScores{Homogeneity: 1, Completeness: 1}
+	if hTruth > 0 {
+		s.Homogeneity = 1 - hTruthGivenDet/hTruth
+	}
+	if hDet > 0 {
+		s.Completeness = 1 - hDetGivenTruth/hDet
+	}
+	if s.Homogeneity+s.Completeness > 0 {
+		s.V = 2 * s.Homogeneity * s.Completeness / (s.Homogeneity + s.Completeness)
+	}
+	return s, nil
+}

@@ -1,0 +1,121 @@
+// Package trace provides the phase timers used to reproduce the paper's
+// execution-time breakdown (Figure 8): each clustering iteration is split
+// into Find Best Community, Broadcast Delegates, Swap Ghost Vertex State,
+// and Other.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one component of a clustering iteration.
+type Phase int
+
+const (
+	// FindBest is the local modularity-gain sweep.
+	FindBest Phase = iota
+	// BroadcastDelegates is the collective that agrees on delegate moves.
+	BroadcastDelegates
+	// SwapGhost is the ghost community-state exchange.
+	SwapGhost
+	// Other covers community bookkeeping, Σtot synchronization, and the
+	// modularity reduction.
+	Other
+
+	numPhases
+)
+
+// NumPhases is the number of distinct phases.
+const NumPhases = int(numPhases)
+
+func (p Phase) String() string {
+	switch p {
+	case FindBest:
+		return "FindBestCommunity"
+	case BroadcastDelegates:
+		return "BroadcastDelegates"
+	case SwapGhost:
+		return "SwapGhostVertexState"
+	case Other:
+		return "Other"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Breakdown accumulates time per phase.
+type Breakdown struct {
+	Durations [NumPhases]time.Duration
+	Iters     int
+}
+
+// Add accumulates d into phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	b.Durations[p] += d
+}
+
+// Merge adds another breakdown into this one.
+func (b *Breakdown) Merge(o Breakdown) {
+	for i := range b.Durations {
+		b.Durations[i] += o.Durations[i]
+	}
+	b.Iters += o.Iters
+}
+
+// Total returns the summed duration over all phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.Durations {
+		t += d
+	}
+	return t
+}
+
+// PerIter returns the mean per-iteration duration of phase p.
+func (b *Breakdown) PerIter(p Phase) time.Duration {
+	if b.Iters == 0 {
+		return 0
+	}
+	return b.Durations[p] / time.Duration(b.Iters)
+}
+
+// String formats the breakdown as a single line.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i := 0; i < NumPhases; i++ {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", Phase(i), b.Durations[i].Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Timer measures one phase at a time.
+type Timer struct {
+	b     *Breakdown
+	phase Phase
+	start time.Time
+	open  bool
+}
+
+// NewTimer returns a Timer writing into b.
+func NewTimer(b *Breakdown) *Timer { return &Timer{b: b} }
+
+// Start begins timing phase p, closing any open phase first.
+func (t *Timer) Start(p Phase) {
+	t.Stop()
+	t.phase = p
+	t.start = time.Now()
+	t.open = true
+}
+
+// Stop closes the open phase, if any.
+func (t *Timer) Stop() {
+	if t.open {
+		t.b.Add(t.phase, time.Since(t.start))
+		t.open = false
+	}
+}

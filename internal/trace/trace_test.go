@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(FindBest, 10*time.Millisecond)
+	b.Add(FindBest, 5*time.Millisecond)
+	b.Add(SwapGhost, 1*time.Millisecond)
+	if got := b.Durations[FindBest]; got != 15*time.Millisecond {
+		t.Errorf("FindBest = %v", got)
+	}
+	if got := b.Total(); got != 16*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Other, time.Second)
+	a.Iters = 2
+	b.Add(Other, time.Second)
+	b.Add(BroadcastDelegates, time.Millisecond)
+	b.Iters = 3
+	a.Merge(b)
+	if a.Durations[Other] != 2*time.Second {
+		t.Errorf("Other = %v", a.Durations[Other])
+	}
+	if a.Durations[BroadcastDelegates] != time.Millisecond {
+		t.Errorf("BroadcastDelegates = %v", a.Durations[BroadcastDelegates])
+	}
+	if a.Iters != 5 {
+		t.Errorf("Iters = %d", a.Iters)
+	}
+}
+
+func TestPerIter(t *testing.T) {
+	var b Breakdown
+	b.Add(FindBest, 10*time.Millisecond)
+	if b.PerIter(FindBest) != 0 {
+		t.Error("PerIter with zero iters should be 0")
+	}
+	b.Iters = 5
+	if got := b.PerIter(FindBest); got != 2*time.Millisecond {
+		t.Errorf("PerIter = %v", got)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		FindBest:           "FindBestCommunity",
+		BroadcastDelegates: "BroadcastDelegates",
+		SwapGhost:          "SwapGhostVertexState",
+		Other:              "Other",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Phase(99).String() != "Phase(99)" {
+		t.Error("unknown phase string")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(FindBest, time.Millisecond)
+	s := b.String()
+	for _, want := range []string{"FindBestCommunity=", "SwapGhostVertexState=", "Other="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	var b Breakdown
+	tm := NewTimer(&b)
+	tm.Start(FindBest)
+	time.Sleep(2 * time.Millisecond)
+	tm.Start(SwapGhost) // implicitly stops FindBest
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	tm.Stop() // double stop is a no-op
+	if b.Durations[FindBest] <= 0 {
+		t.Error("FindBest not recorded")
+	}
+	if b.Durations[SwapGhost] <= 0 {
+		t.Error("SwapGhost not recorded")
+	}
+	if b.Durations[FindBest] < b.Durations[SwapGhost] {
+		t.Errorf("expected FindBest (%v) >= SwapGhost (%v)", b.Durations[FindBest], b.Durations[SwapGhost])
+	}
+}

@@ -1,0 +1,33 @@
+package wire
+
+import "testing"
+
+// FuzzReader exercises the decoder against arbitrary bytes: it must never
+// panic or allocate absurdly, only set Err.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	b := NewBuffer(0)
+	b.PutU64s([]uint64{1, 2, 3})
+	b.PutF64s([]float64{1.5})
+	b.PutBytes([]byte("seed"))
+	f.Add(b.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.Uvarint()
+		r.Varint()
+		r.U32()
+		r.U64()
+		r.F64()
+		r.Bytes()
+		r.U64s()
+		r.I64s()
+		r.Ints()
+		r.F64s()
+		// Err may or may not be set, but the reader must stay in bounds.
+		if r.Remaining() < 0 {
+			t.Fatal("negative remaining")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+// Package wire implements compact binary encoding for inter-rank messages.
+//
+// All payloads exchanged through the comm layer are encoded with this
+// package: little-endian fixed-width integers and floats, unsigned varints
+// for counts, and bulk slice helpers. The encoding is hand-rolled (no
+// encoding/gob, no reflection) so that message sizes are predictable and the
+// communication-volume statistics reported by the experiments are meaningful.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is an append-only encoder. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{b: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the buffer's storage.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the number of encoded bytes.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset discards the buffer contents but keeps the storage.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// PutUvarint appends an unsigned varint.
+func (w *Buffer) PutUvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+
+// PutVarint appends a signed varint.
+func (w *Buffer) PutVarint(v int64) {
+	w.b = binary.AppendVarint(w.b, v)
+}
+
+// PutU32 appends a fixed-width little-endian uint32.
+func (w *Buffer) PutU32(v uint32) {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+}
+
+// PutU64 appends a fixed-width little-endian uint64.
+func (w *Buffer) PutU64(v uint64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
+}
+
+// PutI64 appends a fixed-width little-endian int64.
+func (w *Buffer) PutI64(v int64) {
+	w.PutU64(uint64(v))
+}
+
+// PutF64 appends a little-endian IEEE-754 float64.
+func (w *Buffer) PutF64(v float64) {
+	w.PutU64(math.Float64bits(v))
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (w *Buffer) PutBytes(p []byte) {
+	w.PutUvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// PutU64s appends a length-prefixed slice of uint64 as varints.
+func (w *Buffer) PutU64s(vs []uint64) {
+	w.PutUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.PutUvarint(v)
+	}
+}
+
+// PutI64s appends a length-prefixed slice of int64 as varints.
+func (w *Buffer) PutI64s(vs []int64) {
+	w.PutUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.PutVarint(v)
+	}
+}
+
+// PutInts appends a length-prefixed slice of int as varints.
+func (w *Buffer) PutInts(vs []int) {
+	w.PutUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.PutVarint(int64(v))
+	}
+}
+
+// PutF64s appends a length-prefixed slice of float64, fixed width.
+func (w *Buffer) PutF64s(vs []float64) {
+	w.PutUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.PutF64(v)
+	}
+}
+
+// Reader decodes values written by Buffer, in order.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over p.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated or corrupt message reading %s at offset %d (len %d)", what, r.off, len(r.b))
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U32 reads a fixed-width uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// I64 reads a fixed-width int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads a length-prefixed byte slice. The result aliases the input.
+func (r *Reader) Bytes() []byte {
+	n := int(r.Uvarint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("bytes")
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U64s reads a length-prefixed slice of varint uint64.
+func (r *Reader) U64s() []uint64 {
+	n := int(r.Uvarint())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > r.Remaining() { // each element is at least one byte
+		r.fail("u64 slice length")
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.Uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// I64s reads a length-prefixed slice of varint int64.
+func (r *Reader) I64s() []int64 {
+	n := int(r.Uvarint())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.fail("i64 slice length")
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.Varint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// Ints reads a length-prefixed slice of varint int.
+func (r *Reader) Ints() []int {
+	n := int(r.Uvarint())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.fail("int slice length")
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(r.Varint())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}
+
+// F64s reads a length-prefixed slice of float64.
+func (r *Reader) F64s() []float64 {
+	n := int(r.Uvarint())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n*8 > r.Remaining() {
+		r.fail("f64 slice length")
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	b := NewBuffer(0)
+	b.PutUvarint(0)
+	b.PutUvarint(300)
+	b.PutUvarint(math.MaxUint64)
+	b.PutVarint(-1)
+	b.PutVarint(1 << 40)
+	b.PutU32(0xdeadbeef)
+	b.PutU64(42)
+	b.PutI64(-42)
+	b.PutF64(3.14159)
+	b.PutF64(math.Inf(-1))
+
+	r := NewReader(b.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d, want 300", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want max", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("Varint = %d, want -1", got)
+	}
+	if got := r.Varint(); got != 1<<40 {
+		t.Errorf("Varint = %d, want 1<<40", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %g, want -Inf", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	b := NewBuffer(0)
+	u64s := []uint64{0, 1, 1 << 62, 77}
+	i64s := []int64{-5, 0, 9, -1 << 40}
+	ints := []int{3, -4, 0}
+	f64s := []float64{0, -2.5, 1e300}
+	raw := []byte("hello")
+	b.PutU64s(u64s)
+	b.PutI64s(i64s)
+	b.PutInts(ints)
+	b.PutF64s(f64s)
+	b.PutBytes(raw)
+	b.PutBytes(nil)
+
+	r := NewReader(b.Bytes())
+	if got := r.U64s(); !reflect.DeepEqual(got, u64s) {
+		t.Errorf("U64s = %v, want %v", got, u64s)
+	}
+	if got := r.I64s(); !reflect.DeepEqual(got, i64s) {
+		t.Errorf("I64s = %v, want %v", got, i64s)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, ints) {
+		t.Errorf("Ints = %v, want %v", got, ints)
+	}
+	if got := r.F64s(); !reflect.DeepEqual(got, f64s) {
+		t.Errorf("F64s = %v, want %v", got, f64s)
+	}
+	if got := r.Bytes(); string(got) != "hello" {
+		t.Errorf("Bytes = %q, want hello", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("Bytes = %q, want empty", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestEmptySlicesDecodeNil(t *testing.T) {
+	b := NewBuffer(0)
+	b.PutU64s(nil)
+	b.PutF64s([]float64{})
+	r := NewReader(b.Bytes())
+	if got := r.U64s(); got != nil {
+		t.Errorf("U64s = %v, want nil", got)
+	}
+	if got := r.F64s(); got != nil {
+		t.Errorf("F64s = %v, want nil", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	b := NewBuffer(0)
+	b.PutU64(12345)
+	b.PutF64s([]float64{1, 2, 3})
+	full := b.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		r.F64s()
+		if cut < len(full) && r.Err() == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(full))
+		}
+	}
+}
+
+func TestCorruptSliceLength(t *testing.T) {
+	// A declared length far beyond the remaining bytes must error, not
+	// attempt a huge allocation.
+	b := NewBuffer(0)
+	b.PutUvarint(1 << 40)
+	r := NewReader(b.Bytes())
+	if got := r.U64s(); got != nil || r.Err() == nil {
+		t.Fatalf("U64s on corrupt length: got %v err %v", got, r.Err())
+	}
+}
+
+func TestErrorSticks(t *testing.T) {
+	r := NewReader([]byte{0x80}) // incomplete varint
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	first := r.Err()
+	r.U64()
+	r.Uvarint()
+	if r.Err() != first {
+		t.Fatalf("error replaced: %v -> %v", first, r.Err())
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	b := NewBuffer(16)
+	b.PutU64(1)
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.PutU64(2)
+	r := NewReader(b.Bytes())
+	if got := r.U64(); got != 2 {
+		t.Fatalf("U64 = %d, want 2", got)
+	}
+}
+
+func TestQuickRoundTripU64s(t *testing.T) {
+	f := func(vs []uint64) bool {
+		b := NewBuffer(0)
+		b.PutU64s(vs)
+		r := NewReader(b.Bytes())
+		got := r.U64s()
+		if r.Err() != nil {
+			return false
+		}
+		if len(vs) == 0 {
+			return got == nil
+		}
+		return reflect.DeepEqual(got, vs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripMixed(t *testing.T) {
+	f := func(a int64, b float64, c []byte, d []int64) bool {
+		w := NewBuffer(0)
+		w.PutVarint(a)
+		w.PutF64(b)
+		w.PutBytes(c)
+		w.PutI64s(d)
+		r := NewReader(w.Bytes())
+		ga := r.Varint()
+		gb := r.F64()
+		gc := r.Bytes()
+		gd := r.I64s()
+		if r.Err() != nil {
+			return false
+		}
+		if ga != a {
+			return false
+		}
+		if gb != b && !(math.IsNaN(gb) && math.IsNaN(b)) {
+			return false
+		}
+		if string(gc) != string(c) {
+			return false
+		}
+		if len(d) == 0 {
+			return gd == nil
+		}
+		return reflect.DeepEqual(gd, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
