@@ -1,0 +1,89 @@
+// Command lint runs the project's static-analysis suite (internal/analysis)
+// over the module. It is one of the three entry points that gate the SPMD
+// correctness rules — the others are TestLintClean (plain `go test ./...`)
+// and scripts/check.sh (build + vet + lint + race + fuzz).
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...           # whole module
+//	go run ./cmd/lint ./internal/comm ./cmd/worker
+//	go run ./cmd/lint -doc            # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 operational error. Findings are
+// printed one per line as file:line:col: [analyzer] message; a finding can
+// be waived in source with `//lint:ignore <analyzer> <reason>` on or above
+// the offending line (see docs/STATIC_ANALYSIS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-doc] [package-dir|./...]...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *doc {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...", "all":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loader.LoadDir(pat)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := analysis.Run(pkgs, analysis.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader builds one Loader per test process; NewLoader shells out to
+// `go list -export`, so the result is reused by every test below.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return NewLoader(root)
+})
+
+// TestLintClean is the lint-as-test gate: the full analyzer suite must
+// report nothing across the whole module. This runs under plain
+// `go test ./...`, so a new violation fails tier-1 immediately — no
+// separate lint invocation needed.
+func TestLintClean(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); the loader is missing code", len(pkgs))
+	}
+	findings := Run(pkgs, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings above or waive one with //lint:ignore <analyzer> <reason>; see docs/STATIC_ANALYSIS.md")
+	}
+}
+
+// wantRe matches `// want <analyzer>[ <analyzer>...]` expectation comments
+// in the negative fixtures.
+var wantRe = regexp.MustCompile(`// want ([a-z]+(?: [a-z]+)*)\s*$`)
+
+// fixtureWants parses the expected findings of a fixture file: line number
+// -> sorted analyzer names expected on that line.
+func fixtureWants(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		names := strings.Fields(m[1])
+		sort.Strings(names)
+		wants[i+1] = names
+	}
+	return wants
+}
+
+// TestFixtures runs the whole suite over each negative fixture and checks
+// the findings against the fixture's `// want` comments — both directions:
+// every wanted finding fires, and nothing unexpected fires.
+func TestFixtures(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	fixtures := []string{"badcollective", "badtag", "baderr", "badalias", "badprint"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			wants := fixtureWants(t, filepath.Join(dir, name+".go"))
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments", name)
+			}
+			got := make(map[int][]string)
+			for _, f := range Run([]*Package{pkg}, All()) {
+				got[f.Pos.Line] = append(got[f.Pos.Line], f.Analyzer)
+			}
+			for _, names := range got {
+				sort.Strings(names)
+			}
+			for line, names := range wants {
+				if fmt.Sprint(got[line]) != fmt.Sprint(names) {
+					t.Errorf("line %d: want findings %v, got %v", line, names, got[line])
+				}
+			}
+			for line, names := range got {
+				if _, ok := wants[line]; !ok {
+					t.Errorf("line %d: unexpected findings %v", line, names)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression checks that a well-formed //lint:ignore comment waives
+// the finding on the line below it.
+func TestSuppression(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppressed"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if findings := Run([]*Package{pkg}, All()); len(findings) != 0 {
+		t.Errorf("suppressed fixture produced findings: %v", findings)
+	}
+}
+
+// TestMalformedSuppression checks that a reason-less //lint:ignore is
+// itself reported and does not waive the underlying finding.
+func TestMalformedSuppression(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "badsuppress"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var names []string
+	for _, f := range Run([]*Package{pkg}, All()) {
+		names = append(names, f.Analyzer)
+	}
+	sort.Strings(names)
+	if fmt.Sprint(names) != fmt.Sprint([]string{"lint", "noprint"}) {
+		t.Errorf("want findings [lint noprint], got %v", names)
+	}
+}
+
+// TestAnalyzerCatalogue pins the suite composition: exactly the five
+// documented analyzers, each with a name and a doc string.
+func TestAnalyzerCatalogue(t *testing.T) {
+	want := []string{"collectivesym", "tagconst", "commerr", "recvalias", "noprint"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run function", a.Name)
+		}
+	}
+}

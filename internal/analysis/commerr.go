@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCommErr flags discarded errors from communication operations. A
+// comm error is never ignorable: it means a peer died or the transport
+// failed, and a rank that shrugs it off proceeds with stale or missing
+// data while the rest of the world waits for messages it will never send —
+// turning a clean fast-failure into a silent wrong answer or a deadlock.
+//
+// Flagged forms, for Send/Recv and every collective:
+//
+//	comm.Barrier(c)            // call statement, result dropped
+//	_ = c.Send(dst, tag, b)    // error assigned to blank
+//	b, _ := c.Recv(src, tag)   // error position assigned to blank
+//	go comm.Barrier(c)         // error unobservable in go/defer
+//
+// Close is deliberately not in the checked set: teardown errors after the
+// final gather are routinely unactionable (mirroring common io.Closer
+// practice). Everything else must be handled or explicitly waived with
+// //lint:ignore commerr <reason>.
+var AnalyzerCommErr = &Analyzer{
+	Name: "commerr",
+	Doc:  "flags comm operations whose error result is discarded (statement call, blank assignment, go/defer)",
+	Run:  runCommErr,
+}
+
+// commErrOps are the checked operations: the point-to-point pair plus
+// every world-level entry point that returns an error.
+var commErrOps = map[string]bool{
+	"Send": true, "Recv": true,
+	"Barrier": true, "Bcast": true,
+	"AllreduceBytes": true, "AllreduceBytesRing": true,
+	"AllreduceFloat64Sum": true, "AllreduceInt64Sum": true,
+	"AllreduceInt64Max": true, "AllreduceFloat64SliceSum": true,
+	"Allgather": true, "Alltoallv": true, "Gather": true,
+	"RunWorld": true, "RunWorldStats": true, "DialTCPWorld": true,
+}
+
+func runCommErr(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := commErrOp(p.Info, st.X); ok {
+					p.Reportf(st.Pos(), "result of comm %s discarded: a comm error means a dead peer or broken transport and must be propagated", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := commErrOp(p.Info, st.Call); ok {
+					p.Reportf(st.Pos(), "comm %s in go statement: its error is unobservable; collect it through the rank's return value instead", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := commErrOp(p.Info, st.Call); ok {
+					p.Reportf(st.Pos(), "comm %s in defer statement: its error is unobservable; call it explicitly and check the error", name)
+				}
+			case *ast.AssignStmt:
+				checkBlankCommErr(p, st)
+			}
+			return true
+		})
+	}
+}
+
+// commErrOp reports whether e is a call to a checked comm operation.
+func commErrOp(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for name := range commErrOps {
+		if isCommCallee(info, call, name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// checkBlankCommErr flags assignments that pipe a comm operation's error
+// result into the blank identifier.
+func checkBlankCommErr(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	name, ok := commErrOp(p.Info, as.Rhs[0])
+	if !ok {
+		return
+	}
+	call := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	errPositions := errorResultPositions(p.Info, call, len(as.Lhs))
+	for _, i := range errPositions {
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if id, isIdent := as.Lhs[i].(*ast.Ident); isIdent && id.Name == "_" {
+			p.Reportf(id.Pos(), "error of comm %s assigned to _: a comm error means a dead peer or broken transport and must be propagated", name)
+		}
+	}
+}
+
+// errorResultPositions returns the result indices of call with type error.
+// If the signature cannot be resolved, the last position is assumed (every
+// checked comm operation returns its error last).
+func errorResultPositions(info *types.Info, call *ast.CallExpr, nLHS int) []int {
+	if fn := calleeFunc(info, call); fn != nil {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok {
+			var out []int
+			for i := 0; i < sig.Results().Len(); i++ {
+				if named, isNamed := sig.Results().At(i).Type().(*types.Named); isNamed && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	}
+	return []int{nLHS - 1}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerRecvAlias is a heuristic aliasing check on payloads returned by
+// Recv. The Comm contract says nothing about who owns the returned []byte:
+// the in-process transport hands out the only copy of the payload, and a
+// future zero-copy transport may hand out a buffer shared with the sender.
+// Receivers must therefore treat the slice as read-only and short-lived —
+// decode it (wire.NewReader copies what it returns) and move on.
+//
+// Within each function the analyzer tracks variables bound to a Recv
+// result (including direct aliases, x := got) and flags:
+//
+//	got[i] = v          // element store mutates the transport's buffer
+//	got[i] += v         // ditto, via compound assignment or ++/--
+//	copy(got, src)      // bulk overwrite of the buffer
+//	s.field = got       // retention in a struct outlives the exchange
+//	pkgVar = got        // retention in package state, same problem
+//
+// Forwarding the buffer (Send, append-to-other, returning it) and reading
+// from it are fine. The check is intra-function and heuristic by design;
+// a deliberate in-place decode can be waived with
+// //lint:ignore recvalias <reason>.
+var AnalyzerRecvAlias = &Analyzer{
+	Name: "recvalias",
+	Doc: "flags mutation or long-lived retention of []byte payloads returned by Recv " +
+		"(transports may hand out the only copy, or a shared buffer)",
+	Run: runRecvAlias,
+}
+
+func runRecvAlias(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRecvAliasing(p, fd.Body)
+		}
+	}
+}
+
+func checkRecvAliasing(p *Pass, body *ast.BlockStmt) {
+	tracked := recvBoundObjects(p, body)
+	if len(tracked) == 0 {
+		return
+	}
+	isTracked := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.Info.Uses[id]
+		return obj != nil && tracked[obj]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isTracked(ix.X) {
+					p.Reportf(lhs.Pos(), "element store into a Recv payload: the transport may have handed out its only (or a shared) copy; decode into a fresh buffer instead")
+				}
+			}
+			for i, rhs := range st.Rhs {
+				if !isTracked(rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					p.Reportf(rhs.Pos(), "Recv payload retained in %s: the buffer belongs to the transport exchange; copy it if it must outlive this call", exprText(lhs))
+				case *ast.Ident:
+					if obj := p.Info.Uses[lhs]; obj != nil && isPackageLevel(obj) {
+						p.Reportf(rhs.Pos(), "Recv payload retained in package variable %s: copy it if it must outlive this call", lhs.Name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(st.X).(*ast.IndexExpr); ok && isTracked(ix.X) {
+				p.Reportf(st.Pos(), "element store into a Recv payload: the transport may have handed out its only (or a shared) copy; decode into a fresh buffer instead")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 && isTracked(st.Args[0]) {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin || p.Info.Uses[id] == nil {
+					p.Reportf(st.Pos(), "copy into a Recv payload overwrites the transport's buffer; allocate a destination instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvBoundObjects collects the objects bound to Recv payloads in body:
+// the first LHS of `got, err := c.Recv(...)` plus one level of direct
+// aliases (`data = got`), iterated to a fixpoint so chains are caught.
+func recvBoundObjects(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tracked := make(map[types.Object]bool)
+	defObj := func(id *ast.Ident) types.Object {
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return p.Info.Uses[id]
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// got, err := c.Recv(src, tag)
+			if len(as.Rhs) == 1 && len(as.Lhs) == 2 {
+				if call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall && isCommCallee(p.Info, call, "Recv") {
+					if id, isIdent := as.Lhs[0].(*ast.Ident); isIdent && id.Name != "_" {
+						if obj := defObj(id); obj != nil && !tracked[obj] {
+							tracked[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			// alias := got  /  alias = got
+			if len(as.Rhs) == len(as.Lhs) {
+				for i, rhs := range as.Rhs {
+					rid, okR := ast.Unparen(rhs).(*ast.Ident)
+					lid, okL := as.Lhs[i].(*ast.Ident)
+					if !okR || !okL || lid.Name == "_" {
+						continue
+					}
+					src := p.Info.Uses[rid]
+					if src == nil || !tracked[src] {
+						continue
+					}
+					if obj := defObj(lid); obj != nil && !tracked[obj] {
+						tracked[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func exprText(sel *ast.SelectorExpr) string {
+	if x, ok := sel.X.(*ast.Ident); ok {
+		return x.Name + "." + sel.Sel.Name
+	}
+	return "a struct field"
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerTagConst enforces the message-tag discipline documented in
+// internal/comm: the tag argument of every Send/Recv must be a named
+// constant whose name starts with "tag" (or "Tag"), never an int literal
+// or a computed value. Matching on the receive side is by (source, tag),
+// so an ad-hoc literal that collides with a registered tag silently
+// cross-wires two protocols — the message is delivered to whichever Recv
+// matches first, and the intended Recv blocks forever.
+//
+// The analyzer also audits the tag registry itself: within a package, two
+// tag* constants must not share a value (checked across files, which is
+// where duplicates actually slip in).
+var AnalyzerTagConst = &Analyzer{
+	Name: "tagconst",
+	Doc: "requires Send/Recv tag arguments to be named tag* constants and " +
+		"checks the package's tag registry for duplicate values",
+	Run: runTagConst,
+}
+
+func runTagConst(p *Pass) {
+	checkTagArgs(p)
+	checkTagRegistry(p)
+}
+
+func checkTagArgs(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var op string
+			switch {
+			case isCommCallee(p.Info, call, "Send") && len(call.Args) == 3:
+				op = "Send"
+			case isCommCallee(p.Info, call, "Recv") && len(call.Args) == 2:
+				op = "Recv"
+			default:
+				return true
+			}
+			tagArg := ast.Unparen(call.Args[1])
+			if !isNamedTagConst(p.Info, tagArg) {
+				p.Reportf(tagArg.Pos(),
+					"%s tag must be a named tag* constant from the tag registry, not %s (ad-hoc tags can collide and cross-wire message streams)",
+					op, describeExpr(tagArg))
+			}
+			return true
+		})
+	}
+}
+
+// isNamedTagConst reports whether e is an identifier or selector that
+// resolves to a constant named tag*/Tag*. Without type information it
+// falls back to the name alone.
+func isNamedTagConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	if !strings.HasPrefix(id.Name, "tag") && !strings.HasPrefix(id.Name, "Tag") {
+		return false
+	}
+	if info == nil {
+		return true
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return true // unresolved; trust the naming convention
+	}
+	_, isConst := obj.(*types.Const)
+	return isConst
+}
+
+func describeExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return "the literal " + x.Value
+	case *ast.Ident:
+		return "the non-tag name " + x.Name
+	default:
+		return "a computed expression"
+	}
+}
+
+// checkTagRegistry verifies that all package-level tag* integer constants
+// have distinct values.
+func checkTagRegistry(p *Pass) {
+	type entry struct {
+		name string
+		pos  token.Pos
+	}
+	seen := make(map[string]entry) // exact constant value -> first declaration
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "tag") && !strings.HasPrefix(name.Name, "Tag") {
+						continue
+					}
+					cobj, ok := p.Info.Defs[name].(*types.Const)
+					if !ok || cobj.Val().Kind() != constant.Int {
+						continue
+					}
+					key := cobj.Val().ExactString()
+					if prev, dup := seen[key]; dup {
+						p.Reportf(name.Pos(),
+							"tag registry collision: %s = %s duplicates %s (declared at %s); tags are the only demultiplexing key, so every tag* constant must be unique",
+							name.Name, key, prev.name, p.Fset.Position(prev.pos))
+					} else {
+						seen[key] = entry{name.Name, name.Pos()}
+					}
+				}
+			}
+		}
+	}
+}

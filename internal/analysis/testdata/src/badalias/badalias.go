@@ -1,0 +1,50 @@
+// Package badalias is a negative fixture for the recvalias analyzer:
+// mutation and retention of payloads returned by Recv.
+package badalias
+
+import "repro/internal/comm"
+
+const tagBlob = 5
+
+type cache struct{ last []byte }
+
+// MutateInPlace flips a byte inside the transport's buffer.
+func MutateInPlace(c comm.Comm, src int) ([]byte, error) {
+	got, err := c.Recv(src, tagBlob)
+	if err != nil {
+		return nil, err
+	}
+	got[0] ^= 1 // want recvalias
+	return got, nil
+}
+
+// RetainField parks the payload in long-lived struct state.
+func RetainField(s *cache, c comm.Comm, src int) error {
+	buf, err := c.Recv(src, tagBlob)
+	if err != nil {
+		return err
+	}
+	s.last = buf // want recvalias
+	return nil
+}
+
+// AliasCopyInto shows the one-level alias tracking: the copy overwrites
+// the Recv buffer through a second name.
+func AliasCopyInto(c comm.Comm, src int, scratch []byte) error {
+	got, err := c.Recv(src, tagBlob)
+	if err != nil {
+		return err
+	}
+	data := got
+	copy(data, scratch) // want recvalias
+	return nil
+}
+
+// ReadOnlyOK is the control case: decoding reads, never writes.
+func ReadOnlyOK(c comm.Comm, src int) (byte, error) {
+	got, err := c.Recv(src, tagBlob)
+	if err != nil || len(got) == 0 {
+		return 0, err
+	}
+	return got[0], nil
+}

@@ -1,0 +1,45 @@
+// Package badcollective is a negative fixture for the collectivesym
+// analyzer: collectives reachable only under rank-dependent control flow.
+// Each `// want <analyzer>` comment marks an expected finding.
+package badcollective
+
+import "repro/internal/comm"
+
+// RootOnlyBarrier is the textbook SPMD deadlock: rank 0 enters the
+// Barrier, every other rank returns, and rank 0 blocks forever.
+func RootOnlyBarrier(c comm.Comm) error {
+	if c.Rank() == 0 {
+		return comm.Barrier(c) // want collectivesym
+	}
+	return nil
+}
+
+// DerivedRank exercises the dataflow heuristic: the branch condition does
+// not call Rank() itself, but holds a value derived from it.
+func DerivedRank(c comm.Comm) (float64, error) {
+	me := c.Rank()
+	lowHalf := me < c.Size()/2
+	if lowHalf {
+		return comm.AllreduceFloat64Sum(c, 1) // want collectivesym
+	}
+	return 0, nil
+}
+
+// SwitchOnRank covers the switch form of the same bug.
+func SwitchOnRank(c comm.Comm) ([][]byte, error) {
+	switch c.Rank() {
+	case 0:
+		return comm.Allgather(c, nil) // want collectivesym
+	default:
+		return nil, nil
+	}
+}
+
+// SymmetricOK is the control case: Size() is identical on every rank, so
+// branching on it keeps the collective schedule symmetric.
+func SymmetricOK(c comm.Comm) error {
+	if c.Size() > 1 {
+		return comm.Barrier(c)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package baderr is a negative fixture for the commerr analyzer: comm
+// errors dropped in every form the analyzer recognizes.
+package baderr
+
+import "repro/internal/comm"
+
+const tagWork = 2
+
+// DropStatement drops Barrier's error on the floor.
+func DropStatement(c comm.Comm) {
+	comm.Barrier(c) // want commerr
+}
+
+// DropBlank assigns Send's error to the blank identifier.
+func DropBlank(c comm.Comm, dst int) {
+	_ = c.Send(dst, tagWork, nil) // want commerr
+}
+
+// DropRecvErr keeps the payload but blanks the error.
+func DropRecvErr(c comm.Comm, src int) []byte {
+	b, _ := c.Recv(src, tagWork) // want commerr
+	return b
+}
+
+// DropInGo makes the error unobservable by construction.
+func DropInGo(c comm.Comm) {
+	go comm.Barrier(c) // want commerr
+}
+
+// HandledOK is the control case.
+func HandledOK(c comm.Comm) error {
+	return comm.Barrier(c)
+}

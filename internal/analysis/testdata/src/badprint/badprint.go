@@ -1,0 +1,19 @@
+// Package badprint is a negative fixture for the noprint analyzer:
+// process-global printing from a package under internal/.
+package badprint
+
+import (
+	"fmt"
+	"log" // want noprint
+)
+
+// Chatter writes to stdout and stderr from library code.
+func Chatter(n int) {
+	fmt.Println("processed", n) // want noprint
+	log.Printf("n=%d", n)
+}
+
+// WriterOK is the control case: an explicit writer is the caller's choice.
+func WriterOK(w interface{ Write([]byte) (int, error) }, n int) {
+	fmt.Fprintf(w, "processed %d\n", n)
+}

@@ -1,0 +1,12 @@
+// Package badsuppress verifies that a suppression without a reason is
+// itself reported and does not waive the underlying finding. Expected
+// findings: one "lint" (malformed suppression) and one "noprint".
+package badsuppress
+
+import "fmt"
+
+// Shout tries to waive the finding without giving a reason.
+func Shout() {
+	//lint:ignore noprint
+	fmt.Println("loud")
+}

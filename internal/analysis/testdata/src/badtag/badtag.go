@@ -1,0 +1,26 @@
+// Package badtag is a negative fixture for the tagconst analyzer: ad-hoc
+// Send/Recv tags and a tag-registry collision.
+package badtag
+
+import "repro/internal/comm"
+
+const (
+	tagState = 3
+	tagQuery = 4
+	tagReply = 4 // want tagconst
+)
+
+// LiteralTag uses a bare int literal as the tag.
+func LiteralTag(c comm.Comm, dst int) error {
+	return c.Send(dst, 9, nil) // want tagconst
+}
+
+// ComputedTag derives a tag arithmetically, which defeats the registry.
+func ComputedTag(c comm.Comm, src int) ([]byte, error) {
+	return c.Recv(src, tagState+1) // want tagconst
+}
+
+// NamedOK is the control case: a registered tag constant.
+func NamedOK(c comm.Comm, dst int) error {
+	return c.Send(dst, tagQuery, nil)
+}

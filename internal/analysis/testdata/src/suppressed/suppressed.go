@@ -1,0 +1,12 @@
+// Package suppressed verifies that //lint:ignore waives a finding: the
+// fmt.Println below would be a noprint finding, but carries a suppression
+// with a reason, so the suite must report nothing for this package.
+package suppressed
+
+import "fmt"
+
+// Banner prints deliberately.
+func Banner() {
+	//lint:ignore noprint fixture demonstrating a sanctioned suppression
+	fmt.Println("banner")
+}

@@ -48,7 +48,22 @@ type Comm interface {
 	Stats() *Stats
 }
 
-// Reserved tag space for collectives; user code must use tags >= 0.
+// Tag-space convention. Receive matching is by (source, tag) only, so the
+// tag registry below is the sole thing preventing two concurrent protocols
+// from consuming each other's messages:
+//
+//   - Tags < 0 are reserved for the collectives in collectives.go and are
+//     allocated here, in one block, via iota — never ad hoc.
+//   - Tags >= 0 belong to user code (algorithm phases, experiment
+//     harnesses, tests).
+//   - Every tag used with Send/Recv must be a named constant with a tag
+//     prefix, declared in a registry block like this one, and no two tag
+//     constants may share a value. The tagconst analyzer (internal/
+//     analysis) enforces the naming and uniqueness in non-test code, and
+//     TestTagRegistry locks in this block's invariants.
+//
+// When adding a collective, append its tag to this block so the iota
+// chain keeps the values distinct.
 const (
 	tagBarrier = -1 - iota
 	tagBcast

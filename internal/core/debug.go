@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/comm"
+	"repro/internal/trace"
 )
 
 // debugInvariants enables per-iteration conservation checks in cluster();
@@ -58,7 +59,7 @@ func (s *stage) checkInvariants(iter int) error {
 		return err
 	}
 	if debugVerbose && s.rnk == 0 {
-		fmt.Printf("dbg: verts=%d iter %d maxsz=%d\n", gN, iter, gMax)
+		trace.Logf("dbg: verts=%d iter %d maxsz=%d", gN, iter, gMax)
 	}
 	return nil
 }

@@ -2,20 +2,73 @@ package graph
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// seedFromTestdata adds the contents of a testdata file to the corpus, so
+// the fuzzers start from realistic inputs rather than only synthetic ones.
+func seedFromTestdata(f *testing.F, name string) {
+	f.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(data))
+}
+
 // FuzzReadEdgeList exercises the text parser against arbitrary input: it
-// must return an error or a structurally valid graph, never panic.
+// must return an error or a structurally valid graph, never panic — and
+// an accepted graph must survive a write/reparse round trip.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n1 2 2.5\n")
 	f.Add("# vertices 10\n0 1 1\n")
 	f.Add("")
 	f.Add("x y z\n")
 	f.Add("-1 -2\n")
+	seedFromTestdata(f, "karate_small.txt")
 	f.Fuzz(func(t *testing.T, input string) {
-		g, err := ReadEdgeList(strings.NewReader(input))
+		// Use the capped reader: a single hostile line can legitimately ask
+		// ReadEdgeList for a ~2^31-vertex graph, which is valid but far too
+		// large to allocate per fuzz input.
+		g, err := readEdgeList(strings.NewReader(input), 1<<20)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted input %q but produced invalid graph: %v", input, err)
+		}
+		// Round trip: what the writer emits, the parser must accept and
+		// reproduce with identical structure.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("writing accepted graph back: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing written graph: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed shape: %d/%d vertices, %d/%d arcs",
+				g.NumVertices(), g2.NumVertices(), g.NumArcs(), g2.NumArcs())
+		}
+	})
+}
+
+// FuzzReadMETIS exercises the METIS parser the same way: arbitrary input
+// must yield an error or a structurally valid graph, never a panic.
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 3\n2 3\n1 3\n1 2\n")
+	f.Add("% a comment\n3 2 001\n2 1.5\n1 1.5 3 2\n2 2\n")
+	f.Add("")
+	f.Add("1 0\n\n")
+	f.Add("2 1 011\n2 1\n1 1\n")
+	f.Add("4 2\n2\n1 3\n2\n\n")
+	seedFromTestdata(f, "ring6.metis")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := readMETIS(strings.NewReader(input), 1<<20)
 		if err != nil {
 			return
 		}

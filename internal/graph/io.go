@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,16 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // accepts headerless SNAP-style lists ("u v" or "u v w" per line, '#'
 // comments); in that case the vertex count is 1 + the maximum endpoint.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return readEdgeList(r, math.MaxInt32)
+}
+
+// readEdgeList bounds the vertex-ID space at maxV. Arc targets are stored
+// as int32, so IDs beyond that are corrupt by definition — and because a
+// headerless list sizes the graph as 1 + max endpoint, a single hostile
+// line like "99999999999999 0" would otherwise demand a maxID-sized
+// allocation before any validation. The fuzz harness lowers the bound
+// further to keep per-input allocations small.
+func readEdgeList(r io.Reader, maxV int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	n := -1
@@ -50,6 +61,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if strings.HasPrefix(line, "#") {
 			var declared int
 			if _, err := fmt.Sscanf(line, "# vertices %d", &declared); err == nil {
+				if declared > maxV {
+					return nil, fmt.Errorf("graph: line %d: declared vertex count %d exceeds limit %d", lineNo, declared, maxV)
+				}
 				n = declared
 			}
 			continue
@@ -65,6 +79,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 || u >= maxV || v >= maxV {
+			return nil, fmt.Errorf("graph: line %d: endpoint (%d,%d) outside [0,%d)", lineNo, u, v, maxV)
 		}
 		w := 1.0
 		if len(fields) >= 3 {
@@ -131,6 +148,13 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if n < 0 || arcs < 0 {
 		return nil, fmt.Errorf("graph: corrupt header (n=%d arcs=%d)", n, arcs)
 	}
+	// Every vertex contributes at least a one-byte degree and every arc at
+	// least 9 encoded bytes (1 varint + 8 weight), so a header demanding
+	// more than the input can possibly hold is corrupt. Checking before
+	// allocating keeps hostile headers from requesting huge blocks.
+	if int64(n) > int64(rd.Remaining()) || arcs > int64(rd.Remaining())/9 {
+		return nil, fmt.Errorf("graph: corrupt header (n=%d arcs=%d for %d payload bytes)", n, arcs, rd.Remaining())
+	}
 	targets := make([][]int32, n)
 	weights := make([][]float64, n)
 	var seen int64
@@ -138,6 +162,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		d := int(rd.Uvarint())
 		if rd.Err() != nil {
 			return nil, rd.Err()
+		}
+		if d < 0 || int64(d) > int64(rd.Remaining())/9 {
+			return nil, fmt.Errorf("graph: vertex %d: corrupt degree %d for %d remaining bytes", u, d, rd.Remaining())
 		}
 		ts := make([]int32, d)
 		ws := make([]float64, d)

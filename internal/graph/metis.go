@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -53,6 +54,15 @@ func WriteMETIS(w io.Writer, g *Graph) error {
 // ReadMETIS parses a METIS graph file (fmt "000" unweighted or "001"
 // edge-weighted).
 func ReadMETIS(r io.Reader) (*Graph, error) {
+	return readMETIS(r, math.MaxInt32)
+}
+
+// readMETIS bounds the header's vertex count at maxV, for the same reason
+// readEdgeList bounds endpoint IDs: the count sizes the adjacency tables
+// before any adjacency line is validated, so a hostile header would
+// otherwise demand an arbitrary allocation. The fuzz harness lowers the
+// bound to keep per-input allocations small.
+func readMETIS(r io.Reader, maxV int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -73,6 +83,9 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		n, err = strconv.Atoi(fields[0])
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("graph: METIS bad vertex count %q", fields[0])
+		}
+		if n > maxV {
+			return nil, fmt.Errorf("graph: METIS vertex count %d exceeds limit %d", n, maxV)
 		}
 		m, err = strconv.ParseInt(fields[1], 10, 64)
 		if err != nil || m < 0 {

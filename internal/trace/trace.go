@@ -6,9 +6,45 @@ package trace
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"strings"
+	"sync"
 	"time"
 )
+
+// The package doubles as the sanctioned diagnostics sink for library code:
+// packages under internal/ must not write to process-global streams (the
+// noprint analyzer enforces this — experiment tables own stdout, and p
+// ranks printing concurrently interleave into garbage), so runtime
+// diagnostics go through Logf, whose writer is injectable and serialized.
+
+var (
+	logMu  sync.Mutex
+	logOut io.Writer = os.Stderr
+)
+
+// SetLogOutput redirects Logf; w == nil restores the default (stderr).
+// Tests use this to capture or silence library diagnostics.
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	logOut = w
+}
+
+// Logf writes one diagnostic line (a newline is appended if missing).
+// Safe for concurrent use from multiple ranks.
+func Logf(format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(logOut, format, args...)
+	if !strings.HasSuffix(format, "\n") {
+		io.WriteString(logOut, "\n")
+	}
+}
 
 // Phase identifies one component of a clustering iteration.
 type Phase int

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the full local/CI gate: build, vet, project lint, race tests,
+# and a short fuzz smoke of every Fuzz* target. CI runs exactly this script,
+# so a clean local run means a clean CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== project lint (cmd/lint) =="
+go run ./cmd/lint ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke (5s per target) =="
+for pkg in ./internal/wire ./internal/graph; do
+    for tgt in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
+        echo "-- fuzz $pkg $tgt"
+        go test -run '^$' -fuzz "^${tgt}\$" -fuzztime 5s "$pkg"
+    done
+done
+
+echo "== all checks passed =="
