@@ -1,0 +1,120 @@
+// Command benchfmt converts `go test -bench -benchmem` output into the
+// JSON trajectory files (BENCH_<pr>.json) the performance work is tracked
+// by. It reads benchmark output on stdin and writes one JSON document on
+// stdout:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core/ | benchfmt -pr 2
+//
+// With -seed FILE, the file's "current" (or top-level) metrics are embedded
+// as the "seed" block, so a single run produces a before/after comparison
+// against the committed pre-change numbers:
+//
+//	... | benchfmt -pr 2 -seed scripts/bench_seed_pr2.json > BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Metrics is one benchmark's measurement. B/op and allocs/op are present
+// only when the run used -benchmem.
+type Metrics struct {
+	Iters    int     `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Doc is the BENCH_<pr>.json layout.
+type Doc struct {
+	PR         int                `json:"pr,omitempty"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Seed       map[string]Metrics `json:"seed,omitempty"`
+	Current    map[string]Metrics `json:"current"`
+}
+
+// benchLine matches one `go test -bench` result row; B/op and allocs/op
+// columns are optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the document")
+	seedPath := flag.String("seed", "", "JSON file whose metrics become the seed (before) block")
+	flag.Parse()
+
+	doc := Doc{
+		PR:         *pr,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Current:    make(map[string]Metrics),
+	}
+	if *seedPath != "" {
+		seed, err := loadSeed(*seedPath)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Seed = seed
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var met Metrics
+		met.Iters, _ = strconv.Atoi(m[2])
+		met.NsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			met.BOp, _ = strconv.ParseFloat(m[4], 64)
+			met.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		doc.Current[m[1]] = met
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(doc.Current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// loadSeed reads a prior benchfmt document (or a bare name→metrics map) and
+// returns its metrics: the "current" block when present, the map itself
+// otherwise.
+func loadSeed(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err == nil && len(d.Current) > 0 {
+		return d.Current, nil
+	}
+	var m map[string]Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: not a benchfmt document: %w", path, err)
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfmt:", err)
+	os.Exit(1)
+}

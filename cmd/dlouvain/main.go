@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,8 +43,23 @@ func main() {
 		outPath     = flag.String("o", "", "write the final membership (vertex community) to this file")
 		gamma       = flag.Float64("gamma", 1, "modularity resolution γ (>1 = more, smaller communities)")
 		showLevels  = flag.Bool("levels", false, "print the dendrogram (communities per clustering level)")
+		workers     = flag.Int("workers", 0, "intra-rank workers for the parallel kernels (0 = GOMAXPROCS/p, 1 = serial; results are identical)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	g, truth, err := loadGraph(*graphPath, *genSpec)
 	if err != nil {
@@ -51,7 +68,7 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	opt := core.Options{P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma, TrackLevels: *showLevels}
+	opt := core.Options{P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma, TrackLevels: *showLevels, Workers: *workers}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced
@@ -121,6 +138,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("membership written to %s\n", *outPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("heap profile written to %s\n", *memProfile)
 	}
 }
 

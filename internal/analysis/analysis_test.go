@@ -79,7 +79,7 @@ func TestFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	fixtures := []string{"badcollective", "badtag", "baderr", "badalias", "badprint"}
+	fixtures := []string{"badcollective", "badtag", "baderr", "badalias", "badprint", "badpool"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)

@@ -28,10 +28,18 @@ import (
 // intentional divergent collective — e.g. a subgroup collective guarded so
 // every member still participates — can be waived with
 // //lint:ignore collectivesym <reason>.
+//
+// The analyzer additionally flags collectives issued off the rank's main
+// goroutine: inside a function literal launched with `go`, or inside a task
+// literal handed to a worker pool's parFor (internal/core's intra-rank
+// parallel kernels). The communicator matches messages by (source, tag) in
+// program order on the rank's goroutine, so a collective from a concurrent
+// goroutine races that matching even when every rank reaches it.
 var AnalyzerCollectiveSym = &Analyzer{
 	Name: "collectivesym",
 	Doc: "flags comm collectives reachable only under rank-dependent control flow " +
-		"(the SPMD deadlock pattern: some ranks enter the collective, the rest never do)",
+		"(the SPMD deadlock pattern: some ranks enter the collective, the rest never do) " +
+		"and collectives issued from goroutines or worker-pool tasks off the rank's main goroutine",
 	Run: runCollectiveSym,
 }
 
@@ -62,8 +70,8 @@ func runCollectiveSym(p *Pass) {
 				continue
 			}
 			derived := rankDerivedObjects(p.Info, fd.Body)
-			w := &symWalker{pass: p, derived: derived}
-			w.walkStmt(fd.Body, nil)
+			w := &symWalker{pass: p, derived: derived, handled: make(map[*ast.FuncLit]bool)}
+			w.walkStmt(fd.Body, nil, "")
 		}
 	}
 }
@@ -144,35 +152,39 @@ func lower(s string) string {
 }
 
 // symWalker walks statements carrying the innermost rank-dependent branch
-// node (nil when the current path is symmetric).
+// node (nil when the current path is symmetric) and the async context (empty
+// when the code runs on the rank's main goroutine). handled marks function
+// literals already walked with a specific async context, so the generic
+// expression scan does not re-walk them with the wrong one.
 type symWalker struct {
 	pass    *Pass
 	derived map[types.Object]bool
+	handled map[*ast.FuncLit]bool
 }
 
 func (w *symWalker) divergentCond(e ast.Expr) bool {
 	return e != nil && mentionsRank(w.pass.Info, e, w.derived)
 }
 
-func (w *symWalker) walkStmt(s ast.Stmt, div ast.Node) {
+func (w *symWalker) walkStmt(s ast.Stmt, div ast.Node, async string) {
 	switch st := s.(type) {
 	case nil:
 	case *ast.BlockStmt:
 		for _, sub := range st.List {
-			w.walkStmt(sub, div)
+			w.walkStmt(sub, div, async)
 		}
 	case *ast.IfStmt:
-		w.walkStmt(st.Init, div)
-		w.checkExpr(st.Cond, div)
+		w.walkStmt(st.Init, div, async)
+		w.checkExpr(st.Cond, div, async)
 		inner := div
 		if w.divergentCond(st.Cond) {
 			inner = st
 		}
-		w.walkStmt(st.Body, inner)
-		w.walkStmt(st.Else, inner)
+		w.walkStmt(st.Body, inner, async)
+		w.walkStmt(st.Else, inner, async)
 	case *ast.SwitchStmt:
-		w.walkStmt(st.Init, div)
-		w.checkExpr(st.Tag, div)
+		w.walkStmt(st.Init, div, async)
+		w.checkExpr(st.Tag, div, async)
 		inner := div
 		if w.divergentCond(st.Tag) {
 			inner = st
@@ -181,111 +193,157 @@ func (w *symWalker) walkStmt(s ast.Stmt, div ast.Node) {
 			c := cc.(*ast.CaseClause)
 			caseDiv := inner
 			for _, e := range c.List {
-				w.checkExpr(e, div)
+				w.checkExpr(e, div, async)
 				if caseDiv == nil && w.divergentCond(e) {
 					caseDiv = st
 				}
 			}
 			for _, sub := range c.Body {
-				w.walkStmt(sub, caseDiv)
+				w.walkStmt(sub, caseDiv, async)
 			}
 		}
 	case *ast.TypeSwitchStmt:
-		w.walkStmt(st.Init, div)
-		w.walkStmt(st.Assign, div)
+		w.walkStmt(st.Init, div, async)
+		w.walkStmt(st.Assign, div, async)
 		for _, cc := range st.Body.List {
 			for _, sub := range cc.(*ast.CaseClause).Body {
-				w.walkStmt(sub, div)
+				w.walkStmt(sub, div, async)
 			}
 		}
 	case *ast.ForStmt:
-		w.walkStmt(st.Init, div)
-		w.checkExpr(st.Cond, div)
+		w.walkStmt(st.Init, div, async)
+		w.checkExpr(st.Cond, div, async)
 		inner := div
 		if w.divergentCond(st.Cond) {
 			inner = st
 		}
-		w.walkStmt(st.Post, inner)
-		w.walkStmt(st.Body, inner)
+		w.walkStmt(st.Post, inner, async)
+		w.walkStmt(st.Body, inner, async)
 	case *ast.RangeStmt:
-		w.checkExpr(st.X, div)
+		w.checkExpr(st.X, div, async)
 		// Ranging over a rank-dependent collection runs the body a
 		// rank-dependent number of times.
 		inner := div
 		if w.divergentCond(st.X) {
 			inner = st
 		}
-		w.walkStmt(st.Body, inner)
+		w.walkStmt(st.Body, inner, async)
 	case *ast.SelectStmt:
 		for _, cc := range st.Body.List {
 			for _, sub := range cc.(*ast.CommClause).Body {
-				w.walkStmt(sub, div)
+				w.walkStmt(sub, div, async)
 			}
 		}
 	case *ast.LabeledStmt:
-		w.walkStmt(st.Stmt, div)
+		w.walkStmt(st.Stmt, div, async)
 	case *ast.ExprStmt:
-		w.checkExpr(st.X, div)
+		w.checkExpr(st.X, div, async)
 	case *ast.AssignStmt:
 		for _, e := range st.Rhs {
-			w.checkExpr(e, div)
+			w.checkExpr(e, div, async)
 		}
 		for _, e := range st.Lhs {
-			w.checkExpr(e, div)
+			w.checkExpr(e, div, async)
 		}
 	case *ast.ReturnStmt:
 		for _, e := range st.Results {
-			w.checkExpr(e, div)
+			w.checkExpr(e, div, async)
 		}
 	case *ast.DeclStmt:
 		if gd, ok := st.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, e := range vs.Values {
-						w.checkExpr(e, div)
+						w.checkExpr(e, div, async)
 					}
 				}
 			}
 		}
 	case *ast.GoStmt:
-		w.checkExpr(st.Call, div)
+		// The call's arguments are evaluated on the current goroutine; the
+		// callee body runs concurrently with the rank's collective schedule.
+		for _, arg := range st.Call.Args {
+			w.checkExpr(arg, div, async)
+		}
+		if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			w.handled[fl] = true
+			w.walkStmt(fl.Body, div, "a goroutine started with go")
+		} else {
+			w.reportCollective(st.Call, div, "a goroutine started with go")
+		}
 	case *ast.DeferStmt:
-		w.checkExpr(st.Call, div)
+		w.checkExpr(st.Call, div, async)
 	case *ast.SendStmt:
-		w.checkExpr(st.Chan, div)
-		w.checkExpr(st.Value, div)
+		w.checkExpr(st.Chan, div, async)
+		w.checkExpr(st.Value, div, async)
 	case *ast.IncDecStmt:
-		w.checkExpr(st.X, div)
+		w.checkExpr(st.X, div, async)
 	}
 }
 
+// isParForCall reports whether call invokes a parFor method/function (the
+// worker-pool dispatch of internal/core; matched by name so fixtures and
+// future pools are covered without importing core).
+func isParForCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "parFor"
+	case *ast.Ident:
+		return fun.Name == "parFor"
+	}
+	return false
+}
+
 // checkExpr reports collective calls inside e when the surrounding path is
-// rank-divergent. Function literals are scanned with the context of their
-// definition site (conservative: a literal built under a rank branch is
-// usually invoked there too).
-func (w *symWalker) checkExpr(e ast.Expr, div ast.Node) {
+// rank-divergent or runs off the rank's main goroutine. Function literals
+// are scanned with the context of their definition site (conservative: a
+// literal built under a rank branch is usually invoked there too); literals
+// passed to parFor are scanned as worker-pool tasks.
+func (w *symWalker) checkExpr(e ast.Expr, div ast.Node, async string) {
 	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			w.walkStmt(x.Body, div)
+			if w.handled[x] {
+				return false
+			}
+			w.walkStmt(x.Body, div, async)
 			return false
 		case *ast.CallExpr:
-			if div == nil {
-				return true
-			}
-			for name := range collectiveNames {
-				if isCommCalleeFunc(w.pass.Info, x, name) {
-					w.pass.Reportf(x.Pos(),
-						"comm.%s under rank-dependent control flow: every rank must reach each collective, or ranks outside this branch deadlock", name)
-					break
+			if isParForCall(x) {
+				for _, arg := range x.Args {
+					if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						w.handled[fl] = true
+						w.walkStmt(fl.Body, div, "a worker-pool parFor task")
+					}
 				}
 			}
+			w.reportCollective(x, div, async)
 		}
 		return true
 	})
+}
+
+// reportCollective flags call if it is a comm collective reached in an
+// asymmetric context: off the rank's main goroutine (async) or under
+// rank-dependent control flow (div).
+func (w *symWalker) reportCollective(call *ast.CallExpr, div ast.Node, async string) {
+	for name := range collectiveNames {
+		if !isCommCalleeFunc(w.pass.Info, call, name) {
+			continue
+		}
+		switch {
+		case async != "":
+			w.pass.Reportf(call.Pos(),
+				"comm.%s inside %s: collectives must run on the rank's main goroutine, in program order, or they race the communicator's message matching", name, async)
+		case div != nil:
+			w.pass.Reportf(call.Pos(),
+				"comm.%s under rank-dependent control flow: every rank must reach each collective, or ranks outside this branch deadlock", name)
+		}
+		return
+	}
 }
 
 // isCommCalleeFunc is isCommCallee restricted to package-level functions

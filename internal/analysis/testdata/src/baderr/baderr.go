@@ -24,7 +24,7 @@ func DropRecvErr(c comm.Comm, src int) []byte {
 
 // DropInGo makes the error unobservable by construction.
 func DropInGo(c comm.Comm) {
-	go comm.Barrier(c) // want commerr
+	go comm.Barrier(c) // want collectivesym commerr
 }
 
 // HandledOK is the control case.

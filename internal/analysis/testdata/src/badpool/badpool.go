@@ -1,0 +1,75 @@
+// Package badpool is a negative fixture for the collectivesym analyzer's
+// async rule: comm collectives issued off the rank's main goroutine, from
+// inside a worker-pool parFor task or a goroutine. The communicator matches
+// messages by (source, tag) in program order on the rank's goroutine, so
+// these race the matching even when every rank reaches the collective.
+// Errors are captured (not dropped) so commerr stays quiet and the
+// collectivesym findings are isolated.
+package badpool
+
+import "repro/internal/comm"
+
+// pool mimics the worker-pool dispatch of internal/core: parFor runs a
+// chunked kernel, possibly on worker goroutines. The analyzer matches the
+// method by name, so this local stand-in exercises the same rule the real
+// pool is checked by.
+type pool struct{}
+
+func (p *pool) parFor(nChunks int, kernel func(chunk, worker int)) {
+	for c := 0; c < nChunks; c++ {
+		kernel(c, 0)
+	}
+}
+
+// BarrierInTask puts a collective inside a parFor kernel: with more than
+// one worker the Barrier's point-to-point traffic interleaves with whatever
+// the main goroutine posts next.
+func BarrierInTask(c comm.Comm, p *pool) error {
+	errs := make([]error, 4)
+	p.parFor(4, func(chunk, worker int) {
+		errs[chunk] = comm.Barrier(c) // want collectivesym
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReduceInTask covers a value-returning collective in a task.
+func ReduceInTask(c comm.Comm, p *pool) ([]float64, error) {
+	sums := make([]float64, 2)
+	errs := make([]error, 2)
+	p.parFor(2, func(chunk, worker int) {
+		sums[chunk], errs[chunk] = comm.AllreduceFloat64Sum(c, float64(chunk)) // want collectivesym
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sums, nil
+}
+
+// BarrierInGoroutine covers the plain go-statement form of the same bug.
+func BarrierInGoroutine(c comm.Comm) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- comm.Barrier(c) // want collectivesym
+	}()
+	return <-done
+}
+
+// TaskThenCollectiveOK is the control case: the kernel does pure compute
+// and the collective runs on the main goroutine after parFor returns.
+func TaskThenCollectiveOK(c comm.Comm, p *pool, xs []float64) (float64, error) {
+	partial := make([]float64, 2)
+	p.parFor(2, func(chunk, worker int) {
+		lo, hi := chunk*len(xs)/2, (chunk+1)*len(xs)/2
+		for _, x := range xs[lo:hi] {
+			partial[chunk] += x
+		}
+	})
+	return comm.AllreduceFloat64Sum(c, partial[0]+partial[1])
+}

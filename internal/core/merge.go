@@ -46,10 +46,11 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	}
 
 	// 2. Every rank learns the dense ID of each community it references.
+	// The exchange reuses the stage's pooled encode buffers (sendScratch).
 	reqs := s.neededCommunities()
-	out := make([][]byte, s.p)
+	out := s.sendScratch()
 	for r := 0; r < s.p; r++ {
-		b := wire.NewBuffer(0)
+		b := s.sendBufs[r]
 		b.PutInts(reqs[r])
 		out[r] = b.Bytes()
 	}
@@ -57,14 +58,14 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	replies := make([][]byte, s.p)
+	replies := s.sendScratch()
 	for r := 0; r < s.p; r++ {
 		rd := wire.NewReader(in[r])
 		ids := rd.Ints()
 		if err := rd.Err(); err != nil {
 			return nil, 0, err
 		}
-		b := wire.NewBuffer(0)
+		b := s.sendBufs[r]
 		for _, c := range ids {
 			d, ok := denseOf[c]
 			if !ok {
@@ -93,18 +94,15 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	}
 
 	// 3. Translate and ship arcs to the owners of their new source vertex.
-	arcOut := make([]*wire.Buffer, s.p)
-	for r := 0; r < s.p; r++ {
-		arcOut[r] = wire.NewBuffer(0)
-	}
+	arcBufs := s.sendScratch()
 	ship := func(u int, adj []partition.Arc) {
 		cu := int(s.dense[s.comm[u]])
+		dst := cu % s.p
 		for _, a := range adj {
 			cv := int(s.dense[s.comm[a.To]])
-			dst := cu % s.p
-			arcOut[dst].PutVarint(int64(cu))
-			arcOut[dst].PutVarint(int64(cv))
-			arcOut[dst].PutF64(a.W)
+			s.sendBufs[dst].PutVarint(int64(cu))
+			s.sendBufs[dst].PutVarint(int64(cv))
+			s.sendBufs[dst].PutF64(a.W)
 		}
 	}
 	for i, u := range s.sg.Owned {
@@ -113,9 +111,8 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	for i, h := range s.sg.Hubs {
 		ship(h, s.sg.AdjHub[i])
 	}
-	arcBufs := make([][]byte, s.p)
 	for r := 0; r < s.p; r++ {
-		arcBufs[r] = arcOut[r].Bytes()
+		arcBufs[r] = s.sendBufs[r].Bytes()
 	}
 	arcIn, err := comm.Alltoallv(s.c, arcBufs)
 	if err != nil {

@@ -15,10 +15,17 @@ const gainEps = 1e-12
 // vertices (applied immediately, Gauss-Seidel within the rank) and computes
 // this rank's move proposal for every hub from its local share of hub arcs.
 // It returns the hub proposals and the number of owned vertices moved.
+//
+// The owned-vertex loop is sequential by design: each move updates the
+// cached aggregates the next decision reads (the paper's Gauss-Seidel
+// semantics). The hub loop reads a state no proposal mutates, so it runs on
+// the worker pool in data-sized chunks; props[i] is written by exactly one
+// chunk and the per-chunk work counts combine in chunk order, keeping the
+// result bit-identical to the serial path.
 func (s *stage) sweep() ([]hubProposal, int) {
 	s.changed = s.changed[:0]
 	moved := 0
-	acc := newGainAccumulator(s.n)
+	acc := s.accs[0]
 
 	work := int64(0)
 	for i, u := range s.sg.Owned {
@@ -35,21 +42,23 @@ func (s *stage) sweep() ([]hubProposal, int) {
 		moved++
 	}
 
-	props := make([]hubProposal, len(s.sg.Hubs))
-	for i, h := range s.sg.Hubs {
-		work += int64(len(s.sg.AdjHub[i])) + 1
-		props[i] = s.hubProposal(h, s.sg.HubWDeg[i], s.sg.AdjHub[i], acc)
+	s.pool.parFor(s.hubChunks, s.hubKernel)
+	for c := 0; c < s.hubChunks; c++ {
+		work += s.chunkArcs[c]
 	}
 	s.addWork(trace.FindBest, work)
-	return props, moved
+	return s.props, moved
 }
 
 // gainAccumulator gathers w(u→c) per neighboring community for one vertex,
-// with O(touched) reset.
+// with O(touched) reset. cands is the reusable equal-gain candidate scratch
+// of scanCandidates. One accumulator exists per worker, allocated once per
+// stage, so the steady-state sweep allocates nothing.
 type gainAccumulator struct {
-	w    []float64
-	seen []bool
-	keys []int
+	w     []float64
+	seen  []bool
+	keys  []int
+	cands []int
 }
 
 func newGainAccumulator(n int) *gainAccumulator {
@@ -79,11 +88,14 @@ func (g *gainAccumulator) sortedKeys() []int {
 	return g.keys
 }
 
-// bestMove evaluates vertex u (current community from s.comm, weighted
-// degree ku, adjacency adj) and returns the community it should move to.
-// ok is false when the vertex stays put.
-func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumulator) (int, bool) {
-	cu := int(s.comm[u])
+// scanCandidates accumulates the arc weights of vertex u (current community
+// cu, weighted degree k, adjacency adj) into acc and collects the max-gain
+// candidate communities. It returns the gain of staying in cu, the best
+// gain seen, and the equal-best candidate set in ascending label order
+// (aliasing acc's scratch, valid until the next call on the same acc).
+// This is the one place the gain and tie logic lives; bestMove and
+// hubProposal both arbitrate its output.
+func (s *stage) scanCandidates(u, cu int, k float64, adj []partition.Arc, acc *gainAccumulator) (stayGain, best float64, cands []int) {
 	acc.reset()
 	for _, a := range adj {
 		if a.To == u {
@@ -92,17 +104,16 @@ func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumu
 		acc.add(int(s.comm[a.To]), a.W)
 	}
 	// Gain of staying: u removed from cu, then re-inserted.
-	totCu := s.lookupTot(cu) - ku
-	stayGain := acc.w[cu] - s.gamma*totCu*ku/s.m2
+	totCu := s.lookupTot(cu) - k
+	stayGain = acc.w[cu] - s.gamma*totCu*k/s.m2
 
-	// Collect the max-gain candidate set.
-	best := stayGain
-	var cands []int
+	best = stayGain
+	cands = acc.cands[:0]
 	for _, c := range acc.sortedKeys() {
 		if c == cu {
 			continue
 		}
-		gain := acc.w[c] - s.gamma*s.lookupTot(c)*ku/s.m2
+		gain := acc.w[c] - s.gamma*s.lookupTot(c)*k/s.m2
 		switch {
 		case gain > best+gainEps:
 			best = gain
@@ -111,6 +122,16 @@ func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumu
 			cands = append(cands, c)
 		}
 	}
+	acc.cands = cands[:0]
+	return stayGain, best, cands
+}
+
+// bestMove evaluates vertex u (current community from s.comm, weighted
+// degree ku, adjacency adj) and returns the community it should move to.
+// ok is false when the vertex stays put.
+func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumulator) (int, bool) {
+	cu := int(s.comm[u])
+	stayGain, best, cands := s.scanCandidates(u, cu, ku, adj, acc)
 	if len(cands) == 0 || best <= stayGain+gainEps {
 		// Staying ties the best move (or beats it): do not churn.
 		return 0, false
@@ -203,31 +224,7 @@ func (s *stage) hubProposal(h int, kh float64, adj []partition.Arc, acc *gainAcc
 	if len(adj) == 0 {
 		return hubProposal{improvement: negInf, target: ch}
 	}
-	acc.reset()
-	for _, a := range adj {
-		if a.To == h {
-			continue
-		}
-		acc.add(int(s.comm[a.To]), a.W)
-	}
-	totCh := s.lookupTot(ch) - kh
-	stayGain := acc.w[ch] - s.gamma*totCh*kh/s.m2
-
-	best := stayGain
-	var cands []int
-	for _, c := range acc.sortedKeys() {
-		if c == ch {
-			continue
-		}
-		gain := acc.w[c] - s.gamma*s.lookupTot(c)*kh/s.m2
-		switch {
-		case gain > best+gainEps:
-			best = gain
-			cands = append(cands[:0], c)
-		case gain > best-gainEps:
-			cands = append(cands, c)
-		}
-	}
+	stayGain, best, cands := s.scanCandidates(h, ch, kh, adj, acc)
 	if len(cands) == 0 {
 		return hubProposal{improvement: negInf, target: ch}
 	}
@@ -236,5 +233,3 @@ func (s *stage) hubProposal(h int, kh float64, adj []partition.Arc, acc *gainAcc
 		target:      s.pickCandidate(ch, cands),
 	}
 }
-
-func sortInts(ks []int) { sort.Ints(ks) }

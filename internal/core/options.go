@@ -95,6 +95,12 @@ type Options struct {
 	// TrackLevels records the membership of the original vertices after
 	// every clustering stage (the dendrogram), in Result.LevelMemberships.
 	TrackLevels bool
+	// Workers is the intra-rank worker count for the parallel read-only
+	// kernels (hub proposals, the modularity arc scan, request
+	// encode/answer). 0 selects GOMAXPROCS/P (min 1); 1 forces the serial
+	// path. Results are bit-identical at every setting: chunk boundaries
+	// depend only on data size and partial results combine in chunk order.
+	Workers int
 	// Comm is the α-β cost model used for the simulated communication
 	// times (Result.Stage1CommSim/Stage2CommSim). The zero value selects
 	// DefaultCommModel.

@@ -287,6 +287,10 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	cur := append([]int(nil), tracked...) // current coarse vertex of each tracked original vertex
 
 	st := newStage(c, sg, opt)
+	cs := st
+	// cs tracks the live stage; close releases its intra-rank worker
+	// goroutines (the stage's state stays readable for label resolution).
+	defer func() { cs.close() }()
 	t1 := time.Now()
 	res1, err := st.cluster()
 	if err != nil {
@@ -316,7 +320,6 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	defer func() { out.stage2NS = int64(time.Since(t2)) }()
 
 	prevQ := res1.Q
-	cs := st
 	snapshot := func() {
 		if opt.TrackLevels {
 			out.levels = append(out.levels, append([]int(nil), cur...))
@@ -351,8 +354,11 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		st2 := newStage(c, newSG, opt)
 		r2, err := st2.cluster()
 		if err != nil {
+			st2.close()
 			return nil, err
 		}
+		cs.close()
+		cs = st2
 		out.outer++
 		out.qtrace = append(out.qtrace, r2.QTrace...)
 		out.finalQ = r2.Q
@@ -360,7 +366,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		out.comm2NS += r2.CommSimNS
 		if r2.Q-prevQ < opt.MinGain {
 			// Keep this stage's (possibly tiny) improvement, then stop.
-			cur, err = resolveQueries(c, cur, func(x int) int { return int(st2.comm[x]) })
+			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) })
 			if err != nil {
 				return nil, err
 			}
@@ -369,6 +375,5 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 			return out, nil
 		}
 		prevQ = r2.Q
-		cs = st2
 	}
 }

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/comm"
 	"repro/internal/partition"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // stage is the per-rank runtime state of one clustering stage (with or
@@ -63,6 +65,58 @@ type stage struct {
 	// populated by merge (-1 = not mapped).
 	dense []int32
 
+	// Intra-rank parallelism (pool.go). pool is nil on the serial path;
+	// accs holds one gain accumulator per worker (index = worker ID), so
+	// the parallel hub-proposal kernel needs no locking and the steady
+	// state allocates no scratch.
+	pool *workerPool
+	accs []*gainAccumulator
+
+	// Reusable communication scratch, one slot per peer rank: encode
+	// buffers (Reset keeps their storage) and the frame headers handed to
+	// Alltoallv. Each exchange resets and refills them; the transports
+	// copy payloads on Send, so reuse after a collective returns is safe.
+	sendBufs []*wire.Buffer
+	frames   [][]byte
+
+	// hubBuf is the reusable delegate-exchange encode buffer.
+	hubBuf *wire.Buffer
+
+	// props is the reusable hub-proposal slice returned by sweep, filled by
+	// hubKernel over hubChunks chunks. The kernel closure is built once per
+	// stage (the hub list is immutable) so the steady-state sweep allocates
+	// nothing.
+	props     []hubProposal
+	hubKernel func(chunk, worker int)
+	hubChunks int
+
+	// qKernel/qChunks: the globalModularity arc-scan kernel over the
+	// concatenated owned+hub index space, likewise built once per stage.
+	qKernel func(chunk, worker int)
+	qChunks int
+
+	// encKernel/ansKernel chunk fetchCommunityInfo's request-encode and
+	// answer loops by peer rank; recvFrames carries the received frames
+	// into ansKernel between the collectives.
+	encKernel  func(r, worker int)
+	ansKernel  func(r, worker int)
+	recvFrames [][]byte
+
+	// needMark/reqs are the dense dedup scratch of neededCommunities:
+	// needMark[c] marks community c as already requested this round, and
+	// reqs[r] accumulates the requests owned by rank r. Both are reset in
+	// O(touched) at the end of each call.
+	needMark []bool
+	reqs     [][]int
+
+	// chunkQ/chunkWork hold per-chunk partial results of parFor kernels,
+	// combined on the main goroutine in chunk order (bit-identical float
+	// reductions at every worker count). chunkWork is sized max(p,
+	// maxChunks) because the encode/answer kernels chunk by peer rank.
+	chunkQ    [maxChunks]float64
+	chunkArcs [maxChunks]int64
+	chunkWork []int64
+
 	bd trace.Breakdown
 	tm *trace.Timer
 
@@ -107,7 +161,92 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		deltaW:    make([]float64, n),
 		deltaN:    make([]int32, n),
 		deltaMark: make([]bool, n),
+		needMark:  make([]bool, n),
+		hubBuf:    wire.NewBuffer(0),
 	}
+	nw := opt.Workers
+	if nw <= 0 {
+		nw = defaultWorkers(s.p)
+	}
+	s.pool = newWorkerPool(nw)
+	s.accs = make([]*gainAccumulator, nw)
+	for w := range s.accs {
+		s.accs[w] = newGainAccumulator(n)
+	}
+	s.sendBufs = make([]*wire.Buffer, s.p)
+	for r := range s.sendBufs {
+		s.sendBufs[r] = wire.NewBuffer(0)
+	}
+	s.frames = make([][]byte, s.p)
+	s.reqs = make([][]int, s.p)
+	nh := len(sg.Hubs)
+	s.props = make([]hubProposal, nh)
+	s.hubChunks = numChunks(nh)
+	s.hubKernel = func(chunk, worker int) {
+		lo, hi := chunkSpan(nh, s.hubChunks, chunk)
+		w := int64(0)
+		acc := s.accs[worker]
+		for i := lo; i < hi; i++ {
+			w += int64(len(s.sg.AdjHub[i])) + 1
+			s.props[i] = s.hubProposal(s.sg.Hubs[i], s.sg.HubWDeg[i], s.sg.AdjHub[i], acc)
+		}
+		s.chunkArcs[chunk] = w
+	}
+	nOwned := len(sg.Owned)
+	nv := nOwned + nh
+	s.qChunks = numChunks(nv)
+	s.qKernel = func(chunk, _ int) {
+		lo, hi := chunkSpan(nv, s.qChunks, chunk)
+		var in float64
+		arcs := int64(0)
+		for i := lo; i < hi; i++ {
+			var cv int32
+			var adj []partition.Arc
+			if i < nOwned {
+				cv = s.comm[sg.Owned[i]]
+				adj = sg.AdjOwned[i]
+			} else {
+				cv = s.comm[sg.Hubs[i-nOwned]]
+				adj = sg.AdjHub[i-nOwned]
+			}
+			for _, a := range adj {
+				if s.comm[a.To] == cv {
+					in += a.W
+				}
+			}
+			arcs += int64(len(adj))
+		}
+		s.chunkQ[chunk] = in
+		s.chunkArcs[chunk] = arcs
+	}
+	s.encKernel = func(r, _ int) {
+		b := s.sendBufs[r]
+		b.PutInts(s.reqs[r])
+		s.frames[r] = b.Bytes()
+		s.chunkWork[r] = int64(len(s.reqs[r]))
+	}
+	s.ansKernel = func(r, _ int) {
+		var rd wire.Reader
+		rd.Reset(s.recvFrames[r])
+		nReq := int(rd.Uvarint())
+		b := s.sendBufs[r]
+		for j := 0; j < nReq && rd.Err() == nil; j++ {
+			c := int(rd.Varint())
+			b.PutF64(s.ownTot[c])
+			b.PutVarint(int64(s.ownSize[c]))
+		}
+		if rd.Err() != nil {
+			s.chunkWork[r] = -1
+			return
+		}
+		s.frames[r] = b.Bytes()
+		s.chunkWork[r] = int64(nReq)
+	}
+	cw := s.p
+	if cw < maxChunks {
+		cw = maxChunks
+	}
+	s.chunkWork = make([]int64, cw)
 	s.tm = trace.NewTimer(&s.bd)
 	for i := range s.comm {
 		s.comm[i] = -1
@@ -129,6 +268,14 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		s.comm[g] = int32(g)
 	}
 	return s
+}
+
+// close releases the stage's worker goroutines. The stage's state stays
+// readable (runRank still resolves labels through it); only parallel
+// kernels become unavailable.
+func (s *stage) close() {
+	s.pool.close()
+	s.pool = nil
 }
 
 // commOwner returns the rank that owns community (or vertex) id c.
@@ -171,17 +318,20 @@ func (s *stage) installCache(c int, tot float64, size int32) {
 }
 
 // neededCommunities returns the deduplicated set of community IDs
-// referenced by any locally known vertex, grouped by owning rank.
+// referenced by any locally known vertex, grouped by owning rank. The
+// returned per-rank slices are stage-owned scratch, valid until the next
+// call.
 func (s *stage) neededCommunities() [][]int {
-	reqs := make([][]int, s.p)
-	mark := make(map[int32]struct{}, len(s.sg.Owned)+len(s.sg.Hubs)+len(s.sg.Ghosts))
+	for r := range s.reqs {
+		s.reqs[r] = s.reqs[r][:0]
+	}
 	note := func(v int) {
-		c := s.comm[v]
-		if _, ok := mark[c]; ok {
+		c := int(s.comm[v])
+		if s.needMark[c] {
 			return
 		}
-		mark[c] = struct{}{}
-		reqs[int(c)%s.p] = append(reqs[int(c)%s.p], int(c))
+		s.needMark[c] = true
+		s.reqs[c%s.p] = append(s.reqs[c%s.p], c)
 	}
 	for _, u := range s.sg.Owned {
 		note(u)
@@ -192,10 +342,13 @@ func (s *stage) neededCommunities() [][]int {
 	for _, g := range s.sg.Ghosts {
 		note(g)
 	}
-	for r := range reqs {
-		sortInts(reqs[r])
+	for r := range s.reqs {
+		sort.Ints(s.reqs[r])
+		for _, c := range s.reqs[r] {
+			s.needMark[c] = false
+		}
 	}
-	return reqs
+	return s.reqs
 }
 
 // addDelta records that community c gained dw weighted degree and dn

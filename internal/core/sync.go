@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -9,48 +10,69 @@ import (
 	"repro/internal/wire"
 )
 
+// sendScratch resets the stage's pooled encode buffers and frame headers
+// and returns the frame slice to hand to Alltoallv. The buffers keep their
+// storage across iterations (wire.Buffer.Reset), so steady-state exchanges
+// allocate nothing on the send side; the transports copy payloads on Send,
+// so reuse after a collective returns is safe.
+func (s *stage) sendScratch() [][]byte {
+	for r := 0; r < s.p; r++ {
+		s.sendBufs[r].Reset()
+		s.frames[r] = nil
+	}
+	return s.frames
+}
+
 // fetchCommunityInfo refreshes the Σtot/size caches for every community
 // referenced locally: requests are routed to community owners via an
-// all-to-all exchange and answered from the authoritative tables.
+// all-to-all exchange and answered from the authoritative tables. The
+// request-encode and answer loops are chunked by peer rank and run on the
+// worker pool (each chunk touches only its own rank's buffers); the
+// collectives themselves stay on the stage's main goroutine.
 func (s *stage) fetchCommunityInfo() error {
 	reqs := s.neededCommunities()
-	out := make([][]byte, s.p)
+	out := s.sendScratch()
+	s.pool.parFor(s.p, s.encKernel)
 	nReq := int64(0)
 	for r := 0; r < s.p; r++ {
-		b := wire.NewBuffer(len(reqs[r])*3 + 8)
-		b.PutInts(reqs[r])
-		out[r] = b.Bytes()
-		nReq += int64(len(reqs[r]))
+		nReq += s.chunkWork[r]
 	}
 	s.addWork(trace.Other, nReq)
 	in, err := comm.Alltoallv(s.c, out)
 	if err != nil {
 		return err
 	}
-	// Answer each request list in order.
-	replies := make([][]byte, s.p)
+	// Answer each request list in order. The received frames are owned by
+	// this rank, so the encode buffers can be reused for the replies.
+	replies := s.sendScratch()
+	s.recvFrames = in
+	s.pool.parFor(s.p, s.ansKernel)
+	s.recvFrames = nil
 	for r := 0; r < s.p; r++ {
-		rd := wire.NewReader(in[r])
-		ids := rd.Ints()
-		if err := rd.Err(); err != nil {
-			return err
+		if s.chunkWork[r] < 0 {
+			// Re-decode serially to surface the deterministic wire error.
+			rd := wire.NewReader(in[r])
+			n := int(rd.Uvarint())
+			for j := 0; j < n && rd.Err() == nil; j++ {
+				rd.Varint()
+			}
+			if err := rd.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: rank %d: malformed request frame from rank %d", s.rnk, r)
 		}
-		b := wire.NewBuffer(len(ids)*10 + 8)
-		for _, c := range ids {
-			b.PutF64(s.ownTot[c])
-			b.PutVarint(int64(s.ownSize[c]))
-		}
-		replies[r] = b.Bytes()
-		s.addWork(trace.Other, int64(len(ids)))
+		s.addWork(trace.Other, s.chunkWork[r])
 	}
 	back, err := comm.Alltoallv(s.c, replies)
 	if err != nil {
 		return err
 	}
-	// Install fresh values.
+	// Install fresh values (serial: installCache appends to the shared
+	// touched list).
 	s.resetCache()
+	var rd wire.Reader
 	for r := 0; r < s.p; r++ {
-		rd := wire.NewReader(back[r])
+		rd.Reset(back[r])
 		for _, c := range reqs[r] {
 			s.installCache(c, rd.F64(), int32(rd.Varint()))
 		}
@@ -82,19 +104,20 @@ func (s *stage) delegateExchange(props []hubProposal) (int, error) {
 	if nh == 0 {
 		return 0, nil
 	}
-	buf := wire.NewBuffer(nh * 12)
+	s.hubBuf.Reset()
 	for _, pr := range props {
-		buf.PutF64(pr.improvement)
-		buf.PutVarint(int64(pr.target))
+		s.hubBuf.PutF64(pr.improvement)
+		s.hubBuf.PutVarint(int64(pr.target))
 	}
 	// Encode + apply are O(hubs) on every rank; the reduction itself adds
 	// O(hubs · log p) combine work, charged here as well.
 	s.addWork(trace.BroadcastDelegates, int64(nh)*int64(2+log2ceil(s.p)))
-	win, err := comm.AllreduceBytes(s.c, buf.Bytes(), combineHubProposals)
+	win, err := comm.AllreduceBytes(s.c, s.hubBuf.Bytes(), combineHubProposals)
 	if err != nil {
 		return 0, err
 	}
-	rd := wire.NewReader(win)
+	var rd wire.Reader
+	rd.Reset(win)
 	moved := 0
 	for i, h := range s.sg.Hubs {
 		imp := rd.F64()
@@ -159,10 +182,7 @@ func combineHubProposals(a, b []byte) []byte {
 // ghostSwap pushes the labels of changed owned vertices to every rank that
 // holds them as ghosts, and applies the symmetric updates received.
 func (s *stage) ghostSwap() error {
-	out := make([]*wire.Buffer, s.p)
-	for r := 0; r < s.p; r++ {
-		out[r] = wire.NewBuffer(0)
-	}
+	bufs := s.sendScratch()
 	sent := int64(0)
 	for _, u := range s.changed {
 		subs := s.sg.Subscribers[u]
@@ -171,23 +191,23 @@ func (s *stage) ghostSwap() error {
 		}
 		c := int64(s.comm[u])
 		for _, r := range subs {
-			out[r].PutVarint(int64(u))
-			out[r].PutVarint(c)
+			s.sendBufs[r].PutVarint(int64(u))
+			s.sendBufs[r].PutVarint(c)
 			sent++
 		}
 	}
-	s.addWork(trace.SwapGhost, sent)
-	bufs := make([][]byte, s.p)
 	for r := 0; r < s.p; r++ {
-		bufs[r] = out[r].Bytes()
+		bufs[r] = s.sendBufs[r].Bytes()
 	}
+	s.addWork(trace.SwapGhost, sent)
 	in, err := comm.Alltoallv(s.c, bufs)
 	if err != nil {
 		return err
 	}
 	recvd := int64(0)
+	var rd wire.Reader
 	for r := 0; r < s.p; r++ {
-		rd := wire.NewReader(in[r])
+		rd.Reset(in[r])
 		for rd.Remaining() > 0 {
 			v := int(rd.Varint())
 			c := int32(rd.Varint())
@@ -205,34 +225,31 @@ func (s *stage) ghostSwap() error {
 // flushDeltas routes the pending Σtot/size deltas to community owners and
 // applies the ones addressed to this rank.
 func (s *stage) flushDeltas() error {
-	out := make([]*wire.Buffer, s.p)
-	for r := 0; r < s.p; r++ {
-		out[r] = wire.NewBuffer(0)
-	}
+	bufs := s.sendScratch()
 	// Sorted order keeps the byte streams reproducible run to run.
 	sort.Ints(s.deltaTouched)
 	s.addWork(trace.Other, int64(len(s.deltaTouched)))
 	for _, c := range s.deltaTouched {
 		o := s.commOwner(c)
-		out[o].PutVarint(int64(c))
-		out[o].PutF64(s.deltaW[c])
-		out[o].PutVarint(int64(s.deltaN[c]))
+		s.sendBufs[o].PutVarint(int64(c))
+		s.sendBufs[o].PutF64(s.deltaW[c])
+		s.sendBufs[o].PutVarint(int64(s.deltaN[c]))
 		s.deltaW[c] = 0
 		s.deltaN[c] = 0
 		s.deltaMark[c] = false
 	}
 	s.deltaTouched = s.deltaTouched[:0]
-	bufs := make([][]byte, s.p)
 	for r := 0; r < s.p; r++ {
-		bufs[r] = out[r].Bytes()
+		bufs[r] = s.sendBufs[r].Bytes()
 	}
 	in, err := comm.Alltoallv(s.c, bufs)
 	if err != nil {
 		return err
 	}
 	applied := int64(0)
+	var rd wire.Reader
 	for r := 0; r < s.p; r++ {
-		rd := wire.NewReader(in[r])
+		rd.Reset(in[r])
 		for rd.Remaining() > 0 {
 			c := int(rd.Varint())
 			dw := rd.F64()
@@ -253,26 +270,19 @@ func (s *stage) flushDeltas() error {
 // fully synchronized community state: each rank sums the weights of its
 // matching local arcs, and each community owner contributes the −(Σtot/2m)²
 // terms of its non-empty communities; an Allreduce yields Q everywhere.
+//
+// The arc scan is chunked over the concatenated owned+hub vertex range and
+// runs on the worker pool; the per-chunk partial sums combine in chunk
+// order on the main goroutine, so the float reduction associates
+// identically at every worker count.
 func (s *stage) globalModularity() (float64, error) {
+	nc := s.qChunks
+	s.pool.parFor(nc, s.qKernel)
 	var in float64
 	arcs := int64(0)
-	for i, u := range s.sg.Owned {
-		cu := s.comm[u]
-		for _, a := range s.sg.AdjOwned[i] {
-			if s.comm[a.To] == cu {
-				in += a.W
-			}
-		}
-		arcs += int64(len(s.sg.AdjOwned[i]))
-	}
-	for i, h := range s.sg.Hubs {
-		ch := s.comm[h]
-		for _, a := range s.sg.AdjHub[i] {
-			if s.comm[a.To] == ch {
-				in += a.W
-			}
-		}
-		arcs += int64(len(s.sg.AdjHub[i]))
+	for c := 0; c < nc; c++ {
+		in += s.chunkQ[c]
+		arcs += s.chunkArcs[c]
 	}
 	var totTerm float64
 	owned := int64(0)

@@ -110,6 +110,14 @@ type Reader struct {
 // NewReader returns a Reader over p.
 func NewReader(p []byte) *Reader { return &Reader{b: p} }
 
+// Reset re-points the Reader at p and clears its state, so hot paths can
+// keep a Reader value on the stack instead of allocating one per message.
+func (r *Reader) Reset(p []byte) {
+	r.b = p
+	r.off = 0
+	r.err = nil
+}
+
 // Err returns the first decoding error encountered, if any.
 func (r *Reader) Err() error { return r.err }
 

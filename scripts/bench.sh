@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf benchmark suite and emit BENCH_<pr>.json: the
+# stage-1 kernel microbenchmarks (allocs/op is the headline number) plus the
+# end-to-end macro benchmarks, formatted by cmd/benchfmt against the
+# committed pre-change seed numbers. CI-runnable; override the iteration
+# counts for a quick smoke:
+#
+#   scripts/bench.sh                         # full run, writes BENCH_2.json
+#   KERNEL_TIME=5x MACRO_TIME=1x scripts/bench.sh OUT=/dev/null
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${PR:-2}"
+OUT="${OUT:-BENCH_${PR}.json}"
+SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
+KERNEL_TIME="${KERNEL_TIME:-50x}"
+MACRO_TIME="${MACRO_TIME:-3x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== kernel microbenchmarks (-benchtime $KERNEL_TIME) ==" >&2
+go test -run '^$' -bench '^BenchmarkKernel' -benchtime "$KERNEL_TIME" -benchmem \
+    ./internal/core/ | tee -a "$raw" >&2
+
+echo "== macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
+go test -run '^$' -bench '^(BenchmarkDistributedLouvain|BenchmarkFig8Breakdown)$' \
+    -benchtime "$MACRO_TIME" -benchmem . | tee -a "$raw" >&2
+
+seedArgs=()
+if [ -f "$SEED" ]; then
+    seedArgs=(-seed "$SEED")
+else
+    echo "note: no seed file $SEED; emitting current numbers only" >&2
+fi
+go run ./cmd/benchfmt -pr "$PR" "${seedArgs[@]}" < "$raw" > "$OUT"
+echo "wrote $OUT" >&2

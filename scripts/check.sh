@@ -17,6 +17,9 @@ go run ./cmd/lint ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (1 iteration per benchmark) =="
+go test -run '^$' -bench . -benchtime 1x -benchmem ./... > /dev/null
+
 echo "== fuzz smoke (5s per target) =="
 for pkg in ./internal/wire ./internal/graph; do
     for tgt in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
