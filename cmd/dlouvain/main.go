@@ -46,6 +46,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "intra-rank workers for the parallel kernels (0 = GOMAXPROCS/p, 1 = serial; results are identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		commDL      = flag.Duration("comm-deadline", 0, "per-receive deadline for the rank goroutines; 0 blocks forever (docs/ROBUSTNESS.md)")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	opt := core.Options{P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma, TrackLevels: *showLevels, Workers: *workers}
+	opt := core.Options{P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma, TrackLevels: *showLevels, Workers: *workers, CommDeadline: *commDL}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -30,6 +31,14 @@ func main() {
 		graphPath = flag.String("graph", "", "path to a graph file (all workers must use the same input)")
 		genSpec   = flag.String("gen", "", "generator spec (all workers must use the same spec)")
 		heuristic = flag.String("heuristic", "enhanced", "convergence heuristic: enhanced|simple|strict")
+
+		// Robustness knobs (docs/ROBUSTNESS.md). Workers of one world are
+		// rarely started simultaneously, so dials retry with backoff until
+		// -dial-total; once the world is up, -comm-deadline bounds every
+		// receive so a dead peer fails the run instead of hanging it.
+		dialTotal    = flag.Duration("dial-total", 30*time.Second, "total budget for dialing the other workers (retries with backoff)")
+		dialBase     = flag.Duration("dial-base", 50*time.Millisecond, "initial dial retry backoff")
+		commDeadline = flag.Duration("comm-deadline", 0, "per-receive deadline; 0 blocks forever (e.g. 30s)")
 	)
 	flag.Parse()
 
@@ -42,13 +51,15 @@ func main() {
 		fatal(err)
 	}
 
-	ep, err := comm.DialTCPWorld(*rank, addrs)
+	ep, err := comm.DialTCPWorldConfig(*rank, addrs, comm.DialOptions{
+		Backoff: comm.Backoff{Base: *dialBase, Total: *dialTotal},
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer ep.Close()
 
-	opt := core.Options{P: len(addrs)}
+	opt := core.Options{P: len(addrs), CommDeadline: *commDeadline}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced

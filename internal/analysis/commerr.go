@@ -38,6 +38,11 @@ var commErrOps = map[string]bool{
 	"AllreduceInt64Max": true, "AllreduceFloat64SliceSum": true,
 	"Allgather": true, "Alltoallv": true, "Gather": true,
 	"RunWorld": true, "RunWorldStats": true, "DialTCPWorld": true,
+	// Robustness layer (PR 3): deadline-bounded receives, retry wrappers,
+	// configurable dialing, and chaos worlds fail for the same reasons the
+	// plain operations do, so their errors carry the same obligation.
+	"RecvTimeout": true, "Retry": true,
+	"DialTCPWorldConfig": true, "RunWorldChaos": true, "Drain": true,
 }
 
 func runCommErr(p *Pass) {

@@ -27,7 +27,43 @@ func DropInGo(c comm.Comm) {
 	go comm.Barrier(c) // want collectivesym commerr
 }
 
+// DropRecvTimeout blanks the error of a deadline-bounded receive; an
+// elapsed deadline means a wedged or dead peer and must be propagated.
+func DropRecvTimeout(c comm.Comm, src int) []byte {
+	b, _ := comm.RecvTimeout(c, src, tagWork, 0) // want commerr
+	return b
+}
+
+// DropRetry discards the verdict of a retry wrapper — exhausted retries
+// mean the operation never happened.
+func DropRetry(op func() error) {
+	var pol comm.Backoff
+	pol.Retry("op", op) // want commerr
+}
+
+// DropChaosWorld drops the joined per-rank errors of a chaos world.
+func DropChaosWorld(fn func(comm.Comm) error) {
+	comm.RunWorldChaos(2, comm.ChaosOptions{}, fn) // want commerr
+}
+
+// DropDrain discards a chaos endpoint's sticky delivery error.
+func DropDrain(cc *comm.ChaosComm) {
+	cc.Drain() // want commerr
+}
+
 // HandledOK is the control case.
 func HandledOK(c comm.Comm) error {
 	return comm.Barrier(c)
+}
+
+// HandledRobustnessOK is the control case for the robustness layer.
+func HandledRobustnessOK(c comm.Comm, src int) error {
+	pol := comm.Backoff{}
+	if err := pol.Retry("recv", func() error {
+		_, err := comm.RecvTimeout(c, src, tagWork, 0)
+		return err
+	}); err != nil {
+		return err
+	}
+	return comm.RunWorldChaos(2, comm.ChaosOptions{}, func(comm.Comm) error { return nil })
 }

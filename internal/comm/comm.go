@@ -19,6 +19,15 @@
 //
 // Every endpoint keeps traffic statistics (message and byte counts, per-peer
 // byte counts) so the experiments can report communication volume exactly.
+//
+// The layer is fault-aware: failures surface as typed sentinels (ErrPeerDown,
+// ErrTimeout, ErrClosed, ErrRetriesExhausted — see errors.go) rather than
+// hangs; receives can be deadline-bounded (deadline.go); dialing and writing
+// retry transient errors with seeded exponential backoff (retry.go); and a
+// deterministic chaos-injection wrapper (chaos.go) plus a cross-transport
+// conformance suite (conformance_test.go) prove those contracts on every CI
+// run. docs/ROBUSTNESS.md describes the fault model and how to write chaos
+// tests.
 package comm
 
 import (

@@ -1,0 +1,80 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// Deadline-aware receiving. Recv's contract is to block until a matching
+// message arrives or the transport fails — which turns one stalled or
+// silently dead peer into a world-wide hang. Both transports (and the chaos
+// wrapper) therefore also implement the two optional interfaces below:
+// a per-call timeout (RecvTimeout) and an endpoint-wide default deadline
+// (SetRecvTimeout) that makes every plain Recv — including the ones issued
+// inside the collectives — fail with ErrTimeout once it has waited d with
+// no matching message. core.Options.CommDeadline plumbs the latter through
+// the algorithm without touching any call site.
+
+// TimeoutComm is implemented by endpoints supporting per-call receive
+// timeouts. d <= 0 means no deadline (identical to Recv).
+type TimeoutComm interface {
+	Comm
+	// RecvTimeout is Recv bounded by d: if no matching message arrives
+	// within d it returns an error wrapping ErrTimeout.
+	RecvTimeout(src, tag int, d time.Duration) ([]byte, error)
+}
+
+// RecvDeadliner is implemented by endpoints supporting an endpoint-wide
+// default receive deadline applied to every subsequent Recv.
+type RecvDeadliner interface {
+	// SetRecvTimeout sets the default per-Recv deadline; d <= 0 restores
+	// unbounded blocking.
+	SetRecvTimeout(d time.Duration)
+}
+
+// SetRecvTimeout applies a default receive deadline to c if its transport
+// supports one, reporting whether it did.
+func SetRecvTimeout(c Comm, d time.Duration) bool {
+	rd, ok := c.(RecvDeadliner)
+	if ok {
+		rd.SetRecvTimeout(d)
+	}
+	return ok
+}
+
+// RecvTimeout receives with a deadline when the transport supports it and
+// falls back to a plain blocking Recv otherwise.
+func RecvTimeout(c Comm, src, tag int, d time.Duration) ([]byte, error) {
+	if tc, ok := c.(TimeoutComm); ok {
+		return tc.RecvTimeout(src, tag, d)
+	}
+	//lint:ignore tagconst adapter forwards the caller's tag verbatim
+	return c.Recv(src, tag)
+}
+
+// waitOrDeadline parks the caller on cond — whose lock must be held — until
+// a broadcast, or reports that the deadline has passed (a zero deadline
+// waits indefinitely and always returns false). The mailbox loops call it
+// in place of cond.Wait and re-check their predicate on every wakeup, so a
+// spurious timer broadcast costs one extra scan, never a lost message.
+func waitOrDeadline(cond *sync.Cond, deadline time.Time) bool {
+	if deadline.IsZero() {
+		cond.Wait()
+		return false
+	}
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return true
+	}
+	// The timer callback takes the lock before broadcasting so it cannot
+	// fire in the window between the caller's predicate check and its
+	// cond.Wait (the caller holds the lock throughout that window).
+	t := time.AfterFunc(rem, func() {
+		cond.L.Lock()
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+	cond.Wait()
+	t.Stop()
+	return false
+}

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inprocWorld is the in-process transport: p endpoints whose mailboxes live
@@ -47,10 +48,11 @@ type inprocEndpoint struct {
 	world *inprocWorld
 	stats Stats
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	inbox []inprocMessage
-	dead  []bool // peers that exited; Recv from them fails instead of hanging
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inbox    []inprocMessage
+	dead     []bool // peers that exited; Recv from them fails instead of hanging
+	deadline time.Duration
 }
 
 func (e *inprocEndpoint) Rank() int     { return e.rank }
@@ -74,9 +76,29 @@ func (e *inprocEndpoint) Send(dst, tag int, data []byte) error {
 	return nil
 }
 
+// SetRecvTimeout sets the endpoint-wide default deadline applied to every
+// subsequent Recv; d <= 0 restores unbounded blocking.
+func (e *inprocEndpoint) SetRecvTimeout(d time.Duration) {
+	e.mu.Lock()
+	e.deadline = d
+	e.mu.Unlock()
+}
+
 func (e *inprocEndpoint) Recv(src, tag int) ([]byte, error) {
+	e.mu.Lock()
+	d := e.deadline
+	e.mu.Unlock()
+	return e.RecvTimeout(src, tag, d)
+}
+
+// RecvTimeout is Recv bounded by d (<= 0 blocks without a deadline).
+func (e *inprocEndpoint) RecvTimeout(src, tag int, d time.Duration) ([]byte, error) {
 	if err := checkPeer(e, src); err != nil {
 		return nil, err
+	}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -90,8 +112,10 @@ func (e *inprocEndpoint) Recv(src, tag int) ([]byte, error) {
 			}
 		}
 		if src != e.rank && e.dead[src] {
-			return nil, fmt.Errorf("comm: rank %d exited; rank %d cannot receive tag %d from it", src, e.rank, tag)
+			return nil, fmt.Errorf("comm: rank %d exited; rank %d cannot receive tag %d from it: %w", src, e.rank, tag, ErrPeerDown)
 		}
-		e.cond.Wait()
+		if waitOrDeadline(e.cond, deadline) {
+			return nil, fmt.Errorf("comm: rank %d recv from %d tag %d: no message within %v: %w", e.rank, src, tag, d, ErrTimeout)
+		}
 	}
 }

@@ -1,0 +1,281 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Unit tests for the robustness primitives: the transient-error retry
+// policy, receive deadlines on both transports, dial-time retry, and the
+// TCPEndpoint.Close goroutine-leak regression.
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("bare error classified transient")
+	}
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Fatal("Transient() not classified transient")
+	}
+	if !errors.Is(tr, base) {
+		t.Fatal("Transient() hides the wrapped error from errors.Is")
+	}
+	if !IsTransient(fmt.Errorf("outer: %w", tr)) {
+		t.Fatal("wrapping hides transience")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	calls := 0
+	pol := Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond, Total: time.Second, Seed: 1}
+	err := pol.Retry("unit", func() error {
+		calls++
+		if calls < 4 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want nil after 4", err, calls)
+	}
+}
+
+func TestRetryPermanentFailsFast(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent")
+	pol := Backoff{Base: time.Microsecond, Total: time.Second}
+	err := pol.Retry("unit", func() error { calls++; return perm })
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(err, perm) {
+		t.Fatalf("got %v, want the permanent error", err)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	inner := errors.New("still down")
+	pol := Backoff{Base: time.Microsecond, Max: 2 * time.Microsecond, MaxAttempts: 3, Total: time.Second, Seed: 7}
+	var sink bytes.Buffer
+	trace.SetEventOutput(&sink)
+	defer trace.SetEventOutput(nil)
+	err := pol.Retry("unit", func() error { return Transient(inner) })
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("got %v, want ErrRetriesExhausted", err)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatalf("exhaustion error hides the last cause: %v", err)
+	}
+	if !strings.Contains(sink.String(), "[retry]") {
+		t.Fatalf("no retry events traced; got %q", sink.String())
+	}
+}
+
+// TestRecvTimeout checks the deadline surface on both transports: a Recv
+// with no matching sender fails with ErrTimeout after roughly d, and the
+// timeout does not disturb messages that arrive later.
+func TestRecvTimeout(t *testing.T) {
+	scenario := func(c Comm) error {
+		if c.Size() != 2 {
+			return fmt.Errorf("scenario wants 2 ranks")
+		}
+		if c.Rank() == 1 {
+			// Stay alive (so no ErrPeerDown) until rank 0 finishes, then
+			// supply the late message.
+			if _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+			return c.Send(0, 2, []byte("late"))
+		}
+		start := time.Now()
+		_, err := RecvTimeout(c, 1, 2, 30*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("got %v, want ErrTimeout", err)
+		}
+		if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+			return fmt.Errorf("timed out after only %v", elapsed)
+		}
+		// Endpoint-wide default deadline drives plain Recv the same way.
+		if !SetRecvTimeout(c, 30*time.Millisecond) {
+			return fmt.Errorf("transport does not support SetRecvTimeout")
+		}
+		if _, err := c.Recv(1, 2); !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("default deadline: got %v, want ErrTimeout", err)
+		}
+		SetRecvTimeout(c, 0)
+		// Unblock rank 1; the following Recv must then succeed: deadlines
+		// must not corrupt the mailbox.
+		if err := c.Send(1, 1, nil); err != nil {
+			return err
+		}
+		got, err := c.Recv(1, 2)
+		if err != nil {
+			return err
+		}
+		if string(got) != "late" {
+			return fmt.Errorf("late message corrupted: %q", got)
+		}
+		return nil
+	}
+	t.Run("inproc", func(t *testing.T) {
+		if err := RunWorld(2, scenario); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("tcp", func(t *testing.T) {
+		if err := runTCPWorld(t, 2, scenario); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("chaos-inproc", func(t *testing.T) {
+		if err := RunWorldChaos(2, ChaosOptions{Seed: 3}, scenario); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDialRetryEventualSuccess delays one rank's startup past several
+// backoff periods; the early rank's dials must retry until the listener
+// appears instead of failing on the first connection refusal.
+func TestDialRetryEventualSuccess(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opt := DialOptions{Backoff: Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond, Total: 10 * time.Second, Seed: 1}}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				time.Sleep(150 * time.Millisecond)
+			}
+			ep, err := DialTCPWorldConfig(r, addrs, opt)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer ep.Close()
+			errs[r] = Barrier(ep)
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetryExhaustion points a rank at a peer that never starts; the
+// dial must give up within the configured budget with a typed error, not
+// hang.
+func TestDialRetryExhaustion(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	opt := DialOptions{Backoff: Backoff{Base: 2 * time.Millisecond, Max: 10 * time.Millisecond, Total: 300 * time.Millisecond, Seed: 1}}
+	start := time.Now()
+	ep, err := DialTCPWorldConfig(0, addrs, opt) // rank 1 never comes up
+	if err == nil {
+		ep.Close()
+		t.Fatal("dial succeeded with no peer listening")
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("got %v, want ErrRetriesExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial gave up only after %v", elapsed)
+	}
+}
+
+// TestTCPCloseReleasesRecv is the goroutine-leak regression test for
+// TCPEndpoint.Close: a Recv blocked with no sender must return ErrClosed
+// when the endpoint closes, and after every endpoint is closed the package
+// must hold no surviving reader/writer goroutines.
+func TestTCPCloseReleasesRecv(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	addrs := freeAddrs(t, 2)
+	eps := make([]*TCPEndpoint, 2)
+	var dialWG sync.WaitGroup
+	dialErr := make([]error, 2)
+	dialWG.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer dialWG.Done()
+			eps[r], dialErr[r] = DialTCPWorld(r, addrs)
+		}(r)
+	}
+	dialWG.Wait()
+	if err := errors.Join(dialErr...); err != nil {
+		t.Fatal(err)
+	}
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv(1, 9) // nothing will ever be sent on tag 9
+		recvErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv park
+
+	if err := eps[0].Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending Recv got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending Recv still blocked after Close")
+	}
+	if err := eps[1].Close(); err != nil {
+		t.Fatalf("close peer: %v", err)
+	}
+
+	waitGoroutines(t, baseline)
+}
+
+// TestChaosDeterministicFaults re-runs one seed and checks the injected
+// fault schedule is identical — the property that makes a failing chaos
+// seed replayable.
+func TestChaosDeterministicFaults(t *testing.T) {
+	run := func() [4]FaultCounts {
+		var mu sync.Mutex
+		var out [4]FaultCounts
+		err := RunWorldChaos(4, benignChaos(99), func(c Comm) error {
+			err := batteryCollectives(c)
+			cc := c.(*ChaosComm)
+			cc.Drain()
+			mu.Lock()
+			out[c.Rank()] = cc.Faults()
+			mu.Unlock()
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault schedules diverged across identical runs:\n%+v\n%+v", a, b)
+	}
+	var total FaultCounts
+	for _, f := range a {
+		total.Delays += f.Delays
+		total.Dups += f.Dups
+		total.SendFailures += f.SendFailures
+	}
+	if total.Delays == 0 || total.Dups == 0 || total.SendFailures == 0 {
+		t.Fatalf("chaos config injected nothing: %+v", total)
+	}
+}

@@ -15,6 +15,14 @@ var debugInvariants = false
 // debugVerbose prints per-iteration community statistics.
 var debugVerbose = false
 
+// testIterHook, when non-nil, runs on every rank after each clustering
+// iteration (post aggregate flush and modularity reduction) with the live
+// stage, the iteration number, and the just-reduced global modularity.
+// Tests install it to audit internal state against independently computed
+// ground truth; an error aborts the stage. It must be set before the world
+// starts and not mutated while ranks run.
+var testIterHook func(s *stage, iter int, q float64) error
+
 // checkInvariants verifies global conservation laws after an iteration:
 // the authoritative Σtot values must sum to 2m and the community sizes to
 // the global vertex count.

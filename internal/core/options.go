@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/partition"
 )
@@ -105,6 +106,12 @@ type Options struct {
 	// times (Result.Stage1CommSim/Stage2CommSim). The zero value selects
 	// DefaultCommModel.
 	Comm CommModel
+	// CommDeadline bounds every receive of the run: when > 0 and the
+	// transport supports deadlines (both built-in transports do), a rank
+	// whose Recv waits longer than this fails with an error wrapping
+	// comm.ErrTimeout instead of hanging the world on a dead or wedged
+	// peer. 0 keeps unbounded blocking. See docs/ROBUSTNESS.md.
+	CommDeadline time.Duration
 }
 
 // CommModel is an α-β communication cost model: sending a message of b

@@ -68,6 +68,11 @@ func (s *stage) cluster() (stageResult, error) {
 				return res, err
 			}
 		}
+		if hook := testIterHook; hook != nil {
+			if err := hook(s, iter, q); err != nil {
+				return res, err
+			}
+		}
 		s.tm.Stop()
 		// Simulated parallel time: the slowest rank bounds the iteration.
 		// The per-iteration maximum across ranks of deterministic work
@@ -277,6 +282,13 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 // merge/recluster rounds without delegates until modularity stops improving
 // (Algorithm 1).
 func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error) {
+	if opt.CommDeadline > 0 {
+		// Endpoint-wide default deadline: every Recv of the run — including
+		// those inside the collectives — fails with comm.ErrTimeout instead
+		// of blocking forever once a peer stops responding. Transports
+		// without deadline support keep unbounded blocking.
+		comm.SetRecvTimeout(c, opt.CommDeadline)
+	}
 	p := c.Size()
 	tracked := append([]int(nil), sg.Owned...)
 	for _, h := range sg.Hubs {

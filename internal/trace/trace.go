@@ -46,6 +46,40 @@ func Logf(format string, args ...any) {
 	}
 }
 
+// Event stream. Unlike Logf (diagnostics that default to stderr), events
+// are high-volume runtime occurrences — fault injections, retries,
+// reconnects — that are silenced by default and enabled by tests or
+// operators chasing a robustness problem. Each line is prefixed with its
+// kind so a capture can be grepped per event class.
+
+var (
+	eventMu  sync.Mutex
+	eventOut io.Writer // nil = discard
+)
+
+// SetEventOutput directs Eventf to w; nil restores the default (discard).
+func SetEventOutput(w io.Writer) {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	eventOut = w
+}
+
+// Eventf records one event of the given kind (e.g. "retry", "chaos",
+// "peerdown"). It is a no-op unless SetEventOutput installed a sink. Safe
+// for concurrent use from multiple ranks.
+func Eventf(kind, format string, args ...any) {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	if eventOut == nil {
+		return
+	}
+	fmt.Fprintf(eventOut, "[%s] ", kind)
+	fmt.Fprintf(eventOut, format, args...)
+	if !strings.HasSuffix(format, "\n") {
+		io.WriteString(eventOut, "\n")
+	}
+}
+
 // Phase identifies one component of a clustering iteration.
 type Phase int
 

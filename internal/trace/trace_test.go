@@ -137,3 +137,26 @@ func TestTimerAccumulates(t *testing.T) {
 		t.Errorf("expected FindBest (%v) >= SwapGhost (%v)", b.Durations[FindBest], b.Durations[SwapGhost])
 	}
 }
+
+func TestEventfDiscardsByDefault(t *testing.T) {
+	// Must not panic or write anywhere with no sink installed.
+	SetEventOutput(nil)
+	Eventf("retry", "attempt %d", 3)
+}
+
+func TestEventfCapturesWithKindPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	SetEventOutput(&buf)
+	defer SetEventOutput(nil)
+	Eventf("chaos", "dropped %d", 2)
+	Eventf("peerdown", "rank %d\n", 1)
+	want := "[chaos] dropped 2\n[peerdown] rank 1\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Eventf output = %q, want %q", got, want)
+	}
+	SetEventOutput(nil)
+	Eventf("chaos", "after reset")
+	if got := buf.String(); got != want {
+		t.Errorf("Eventf wrote after sink reset: %q", got)
+	}
+}

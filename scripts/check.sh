@@ -20,8 +20,15 @@ go test -race ./...
 echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench . -benchtime 1x -benchmem ./... > /dev/null
 
+echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
+# Quick seeded fault-injection sweep of the transport conformance suite
+# (docs/ROBUSTNESS.md). The full 100-run matrix runs above as part of
+# "go test -race ./..."; this step repeats the -short slice un-raced so a
+# chaos regression is reported by a step named after it.
+go test -run 'TestConformance|TestChaosMatrix' -short -count 1 ./internal/comm
+
 echo "== fuzz smoke (5s per target) =="
-for pkg in ./internal/wire ./internal/graph; do
+for pkg in ./internal/wire ./internal/graph ./internal/comm; do
     for tgt in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
         echo "-- fuzz $pkg $tgt"
         go test -run '^$' -fuzz "^${tgt}\$" -fuzztime 5s "$pkg"
