@@ -46,17 +46,28 @@ var AnalyzerCollectiveSym = &Analyzer{
 // collectiveNames are the comm package entry points that must be executed
 // symmetrically by every rank of the world.
 var collectiveNames = map[string]bool{
-	"Barrier":                 true,
-	"Bcast":                   true,
-	"AllreduceBytes":          true,
-	"AllreduceBytesRing":      true,
-	"AllreduceFloat64Sum":     true,
-	"AllreduceInt64Sum":       true,
-	"AllreduceInt64Max":       true,
+	"Barrier":                  true,
+	"Bcast":                    true,
+	"AllreduceBytes":           true,
+	"AllreduceBytesRing":       true,
+	"AllreduceFloat64Sum":      true,
+	"AllreduceInt64Sum":        true,
+	"AllreduceInt64Max":        true,
 	"AllreduceFloat64SliceSum": true,
-	"Allgather":               true,
-	"Alltoallv":               true,
-	"Gather":                  true,
+	"Allgather":                true,
+	"Alltoallv":                true,
+	"Gather":                   true,
+	// Overlapped collective engine (PR 4): the overlapped/streaming
+	// alltoall variants, the fused per-iteration reduction, and the
+	// pipelined/size-selected ring reductions are collectives like any
+	// other — every rank must reach them symmetrically.
+	"AlltoallvSeq":                true,
+	"AlltoallvInto":               true,
+	"AlltoallvFunc":               true,
+	"AllgatherInto":               true,
+	"AllreduceIterStats":          true,
+	"AllreduceBytesRingPipelined": true,
+	"AllreduceBytesAuto":          true,
 }
 
 // rankNames are identifiers assumed to hold a rank by naming convention.

@@ -37,6 +37,11 @@ var commErrOps = map[string]bool{
 	"AllreduceFloat64Sum": true, "AllreduceInt64Sum": true,
 	"AllreduceInt64Max": true, "AllreduceFloat64SliceSum": true,
 	"Allgather": true, "Alltoallv": true, "Gather": true,
+	// Overlapped collective engine (PR 4): same failure modes, same
+	// obligation to check the error.
+	"AlltoallvSeq": true, "AlltoallvInto": true, "AlltoallvFunc": true,
+	"AllgatherInto": true, "AllreduceIterStats": true,
+	"AllreduceBytesRingPipelined": true, "AllreduceBytesAuto": true,
 	"RunWorld": true, "RunWorldStats": true, "DialTCPWorld": true,
 	// Robustness layer (PR 3): deadline-bounded receives, retry wrappers,
 	// configurable dialing, and chaos worlds fail for the same reasons the

@@ -43,3 +43,41 @@ func SymmetricOK(c comm.Comm) error {
 	}
 	return nil
 }
+
+// RootOnlyStreamingAlltoall covers the overlapped engine (PR 4): the
+// streaming exchange is a collective like any other, and only rank 0
+// entering it leaves every other rank's frames unanswered.
+func RootOnlyStreamingAlltoall(c comm.Comm, out [][]byte) error {
+	if c.Rank() == 0 {
+		return comm.AlltoallvFunc(c, out, func(src int, payload []byte) error { return nil }) // want collectivesym
+	}
+	return nil
+}
+
+// EvenRanksFusedReduce branches the fused per-iteration reduction on a
+// rank-derived value.
+func EvenRanksFusedReduce(c comm.Comm) (comm.IterStats, error) {
+	me := c.Rank()
+	if me%2 == 0 {
+		return comm.AllreduceIterStats(c, comm.IterStats{Moved: 1}) // want collectivesym
+	}
+	return comm.IterStats{}, nil
+}
+
+func halves(data []byte, n int) [][]byte {
+	segs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		segs[i] = data[i*len(data)/n : (i+1)*len(data)/n]
+	}
+	return segs
+}
+
+func keepFirst(a, b []byte) []byte { return a }
+
+// RootOnlyPipelinedRing guards the pipelined ring reduction.
+func RootOnlyPipelinedRing(c comm.Comm, data []byte) ([]byte, error) {
+	if c.Rank() == 0 {
+		return comm.AllreduceBytesRingPipelined(c, data, 2, halves, keepFirst) // want collectivesym
+	}
+	return data, nil
+}

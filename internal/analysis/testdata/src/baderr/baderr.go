@@ -67,3 +67,23 @@ func HandledRobustnessOK(c comm.Comm, src int) error {
 	}
 	return comm.RunWorldChaos(2, comm.ChaosOptions{}, func(comm.Comm) error { return nil })
 }
+
+// DropStreamingAlltoall drops the streaming exchange's error — a failed
+// decode callback or a dead peer vanishes silently.
+func DropStreamingAlltoall(c comm.Comm, out [][]byte) {
+	comm.AlltoallvFunc(c, out, func(src int, payload []byte) error { return nil }) // want commerr
+}
+
+// DropFusedReduce blanks the fused per-iteration reduction's error.
+func DropFusedReduce(c comm.Comm) comm.IterStats {
+	st, _ := comm.AllreduceIterStats(c, comm.IterStats{}) // want commerr
+	return st
+}
+
+func keepFirst(a, b []byte) []byte { return a }
+
+// DropAutoReduce blanks the size-selected reduction's error.
+func DropAutoReduce(c comm.Comm, data []byte) []byte {
+	out, _ := comm.AllreduceBytesAuto(c, data, 1, nil, keepFirst) // want commerr
+	return out
+}

@@ -73,3 +73,29 @@ func TaskThenCollectiveOK(c comm.Comm, p *pool, xs []float64) (float64, error) {
 	})
 	return comm.AllreduceFloat64Sum(c, partial[0]+partial[1])
 }
+
+// StreamingAlltoallInGoroutine covers the overlapped engine (PR 4) in a
+// go literal: AlltoallvFunc itself manages receiver goroutines internally,
+// but the call must still be issued from the rank's main goroutine.
+func StreamingAlltoallInGoroutine(c comm.Comm, out [][]byte) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- comm.AlltoallvFunc(c, out, func(src int, payload []byte) error { return nil }) // want collectivesym
+	}()
+	return <-done
+}
+
+// FusedReduceInTask puts the fused per-iteration reduction inside a parFor
+// kernel.
+func FusedReduceInTask(c comm.Comm, p *pool) error {
+	errs := make([]error, 2)
+	p.parFor(2, func(chunk, worker int) {
+		_, errs[chunk] = comm.AllreduceIterStats(c, comm.IterStats{}) // want collectivesym
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,8 +1,10 @@
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func BenchmarkBarrier(b *testing.B) {
@@ -111,6 +113,100 @@ func BenchmarkPointToPoint(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// delayOnlyChaos is the latency-injection schedule the overlap benchmarks
+// run under: every message is delayed by a uniform duration in (0, 1ms],
+// nothing is dropped or failed. Distinct (dst, tag) lanes sleep
+// concurrently, so a collective that posts all its sends up front pays
+// roughly the max of its peers' delays, while a sequential one pays the sum.
+func delayOnlyChaos() ChaosOptions {
+	return ChaosOptions{Seed: 7, DelayProb: 1, MaxDelay: time.Millisecond}
+}
+
+func benchAlltoallvUnderDelay(b *testing.B, fn func(Comm, [][]byte) ([][]byte, error)) {
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(8 * len(payload)))
+	err := RunWorldChaos(8, delayOnlyChaos(), func(c Comm) error {
+		out := make([][]byte, c.Size())
+		for i := range out {
+			out[i] = payload
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := fn(c, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAlltoallvSeq vs BenchmarkAlltoallvOverlap is the headline A/B of
+// the overlapped engine: same payloads, same chaos schedule, the only
+// difference is posting all sends before the first receive.
+func BenchmarkAlltoallvSeq(b *testing.B)     { benchAlltoallvUnderDelay(b, AlltoallvSeq) }
+func BenchmarkAlltoallvOverlap(b *testing.B) { benchAlltoallvUnderDelay(b, Alltoallv) }
+
+// BenchmarkAllreduceRingPipelined compares the plain ring against the
+// segmented pipeline under injected per-message latency. The injected-delay
+// model is deliberately adversarial to pipelining — every extra frame on a
+// link costs a full lane sleep, and the 1ms delay dwarfs the combine the
+// pipeline overlaps — so the pipelined variant is expected to trail here;
+// its regime is bandwidth-bound payloads (see docs/PERFORMANCE.md), which
+// is exactly what AllreduceBytesAuto's record-count threshold encodes.
+func BenchmarkAllreduceRingPipelined(b *testing.B) {
+	const nrec = 8192
+	payload := make([]byte, nrec*8)
+	for i := 0; i < nrec; i++ {
+		binary.LittleEndian.PutUint64(payload[i*8:], uint64(i))
+	}
+	maxU64 := func(x, y []byte) []byte {
+		out := make([]byte, len(x))
+		for i := 0; i+8 <= len(x); i += 8 {
+			vx, vy := binary.LittleEndian.Uint64(x[i:]), binary.LittleEndian.Uint64(y[i:])
+			if vy > vx {
+				vx = vy
+			}
+			binary.LittleEndian.PutUint64(out[i:], vx)
+		}
+		return out
+	}
+	split := func(data []byte, n int) [][]byte {
+		segs := make([][]byte, n)
+		rec := len(data) / 8
+		for i := 0; i < n; i++ {
+			segs[i] = data[(i*rec/n)*8 : ((i+1)*rec/n)*8]
+		}
+		return segs
+	}
+	variants := []struct {
+		name string
+		fn   func(Comm) ([]byte, error)
+	}{
+		{"ring", func(c Comm) ([]byte, error) { return AllreduceBytesRing(c, payload, maxU64) }},
+		{"ring-pipelined", func(c Comm) ([]byte, error) {
+			return AllreduceBytesRingPipelined(c, payload, 8, split, maxU64)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/p=8", func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			err := RunWorldChaos(8, delayOnlyChaos(), func(c Comm) error {
+				for i := 0; i < b.N; i++ {
+					if _, err := v.fn(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

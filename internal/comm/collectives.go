@@ -2,17 +2,57 @@ package comm
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
 // Collectives built on point-to-point messaging. All ranks of the world must
 // call the same collective in the same order (bulk-synchronous usage), as
 // with MPI.
+//
+// The overlapped variants (Alltoallv, AlltoallvFunc, Gather,
+// AllreduceBytesRingPipelined — see overlap.go) post sends up front and
+// consume replies as they arrive instead of serializing p−1 round-trips.
+// They share the sequential variants' tags: per-(source, tag) FIFO plus the
+// bulk-synchronous usage rule means each collective call consumes a fixed
+// number of messages per peer stream, so sequential and overlapped calls
+// can even be mixed across ranks of the same collective without
+// mismatching. docs/PERFORMANCE.md describes the overlap design and why
+// results stay bit-identical.
+
+// collStart returns a start timestamp when per-collective trace accounting
+// is enabled and the zero time otherwise, so the disabled path costs one
+// atomic load and no clock reads.
+func collStart() time.Time {
+	if !trace.CollectiveStatsEnabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// collDone reports one finished collective call begun at t0; bytes is the
+// payload volume this rank contributed.
+func collDone(k trace.Collective, t0 time.Time, bytes int64) {
+	if t0.IsZero() {
+		return
+	}
+	trace.RecordCollective(k, int64(time.Since(t0)), bytes)
+}
+
+func framesLen(out [][]byte) int64 {
+	var n int64
+	for _, b := range out {
+		n += int64(len(b))
+	}
+	return n
+}
 
 // Barrier blocks until every rank has entered it (dissemination barrier,
 // ⌈log₂ p⌉ rounds).
 func Barrier(c Comm) error {
+	defer collDone(trace.CollBarrier, collStart(), 0)
 	p := c.Size()
 	for k := 1; k < p; k <<= 1 {
 		dst := (c.Rank() + k) % p
@@ -34,6 +74,7 @@ func Bcast(c Comm, root int, data []byte) ([]byte, error) {
 	if err := checkPeer(c, root); err != nil {
 		return nil, err
 	}
+	defer collDone(trace.CollBcast, collStart(), int64(len(data)))
 	p := c.Size()
 	// Work in a rotated rank space where the root is 0.
 	vrank := (c.Rank() - root + p) % p
@@ -71,6 +112,7 @@ func AllreduceBytes(c Comm, data []byte, combine func(a, b []byte) []byte) ([]by
 	if p == 1 {
 		return data, nil
 	}
+	defer collDone(trace.CollAllreduce, collStart(), int64(len(data)))
 	r := c.Rank()
 	pow2 := 1
 	for pow2*2 <= p {
@@ -126,6 +168,7 @@ func AllreduceBytesRing(c Comm, data []byte, combine func(a, b []byte) []byte) (
 	if p == 1 {
 		return data, nil
 	}
+	defer collDone(trace.CollAllreduceRing, collStart(), int64(len(data)))
 	r := c.Rank()
 	next := (r + 1) % p
 	prev := (r - 1 + p) % p
@@ -246,15 +289,30 @@ func AllreduceFloat64SliceSum(c Comm, vs []float64) ([]float64, error) {
 // Allgather collects every rank's payload; the result slice is indexed by
 // rank and identical on all ranks. Ring algorithm, p−1 steps.
 func Allgather(c Comm, mine []byte) ([][]byte, error) {
+	return AllgatherInto(c, mine, nil)
+}
+
+// AllgatherInto is Allgather with caller-owned scratch: in (if non-nil)
+// must have length Size() and is reused for the result, including in[Rank()]
+// for the self copy, so a caller exchanging every iteration allocates
+// nothing for the slice header or its own payload. Received buffers come
+// from the transport and replace the previous contents of in.
+func AllgatherInto(c Comm, mine []byte, in [][]byte) ([][]byte, error) {
 	p := c.Size()
+	if in == nil {
+		in = make([][]byte, p)
+	} else if len(in) != p {
+		return nil, fmt.Errorf("comm: AllgatherInto needs %d scratch buffers, got %d", p, len(in))
+	}
 	r := c.Rank()
-	out := make([][]byte, p)
-	cp := make([]byte, len(mine))
-	copy(cp, mine)
-	out[r] = cp
+	in[r] = append(in[r][:0], mine...)
+	if p == 1 {
+		return in, nil
+	}
+	defer collDone(trace.CollAllgather, collStart(), int64(len(mine)))
 	next := (r + 1) % p
 	prev := (r - 1 + p) % p
-	carry := cp
+	carry := in[r]
 	for step := 0; step < p-1; step++ {
 		if err := c.Send(next, tagAllgather, carry); err != nil {
 			return nil, err
@@ -264,20 +322,27 @@ func Allgather(c Comm, mine []byte) ([][]byte, error) {
 			return nil, err
 		}
 		srcRank := (r - 1 - step + 2*p) % p
-		out[srcRank] = got
+		in[srcRank] = got
 		carry = got
 	}
-	return out, nil
+	return in, nil
 }
 
-// Alltoallv performs a personalized all-to-all exchange: out[i] is sent to
-// rank i, and the returned slice holds in[i] received from rank i. out must
-// have length Size(); out[Rank()] is returned unchanged (copied).
-func Alltoallv(c Comm, out [][]byte) ([][]byte, error) {
+// AlltoallvSeq performs a personalized all-to-all exchange: out[i] is sent
+// to rank i, and the returned slice holds in[i] received from rank i. out
+// must have length Size(); out[Rank()] is returned unchanged (copied).
+//
+// This is the sequential baseline: p−1 blocking Send/Recv steps, so total
+// latency is the sum over peers. The overlapped Alltoallv in overlap.go
+// returns identical results at max-over-peers latency; this variant is
+// kept for A/B comparison (core's Options.SequentialCollectives, the
+// benchmarks) and as the simplest reference implementation.
+func AlltoallvSeq(c Comm, out [][]byte) ([][]byte, error) {
 	p := c.Size()
 	if len(out) != p {
 		return nil, fmt.Errorf("comm: Alltoallv needs %d buffers, got %d", p, len(out))
 	}
+	defer collDone(trace.CollAlltoallv, collStart(), framesLen(out))
 	r := c.Rank()
 	in := make([][]byte, p)
 	self := make([]byte, len(out[r]))
@@ -299,6 +364,9 @@ func Alltoallv(c Comm, out [][]byte) ([][]byte, error) {
 }
 
 // Gather collects every rank's payload at root; non-root ranks return nil.
+// The root receives in arrival order — one receiver goroutine per peer —
+// so a single slow rank delays only its own slot instead of serializing
+// the whole drain; the returned slice is still indexed by rank.
 func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 	if err := checkPeer(c, root); err != nil {
 		return nil, err
@@ -311,15 +379,40 @@ func Gather(c Comm, root int, mine []byte) ([][]byte, error) {
 	cp := make([]byte, len(mine))
 	copy(cp, mine)
 	out[root] = cp
+	if p == 1 {
+		return out, nil
+	}
+	defer collDone(trace.CollGather, collStart(), int64(len(mine)))
+	type arrival struct {
+		src  int
+		data []byte
+		err  error
+	}
+	// Buffered to p−1 so receivers can finish even if we stop consuming,
+	// and drained fully below so none outlive the call on the happy path.
+	ch := make(chan arrival, p-1)
 	for r := 0; r < p; r++ {
 		if r == root {
 			continue
 		}
-		got, err := c.Recv(r, tagGather)
-		if err != nil {
-			return nil, err
+		go func(r int) {
+			got, err := c.Recv(r, tagGather)
+			ch <- arrival{src: r, data: got, err: err}
+		}(r)
+	}
+	var firstErr error
+	for i := 1; i < p; i++ {
+		a := <-ch
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			continue
 		}
-		out[r] = got
+		out[a.src] = a.data
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

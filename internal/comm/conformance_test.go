@@ -299,6 +299,134 @@ func batteryCollectives(c Comm) error {
 		}
 	}
 
+	// Overlapped engine (PR 4). The sequential baseline and the streaming
+	// variant share tagAlltoallv with the overlapped call above, so — like
+	// the allreduce variants — they must run in the same fixed order on
+	// every rank. The baseline must agree with the overlapped default
+	// byte-for-byte.
+	inSeq, err := AlltoallvSeq(c, out)
+	if err != nil {
+		return fmt.Errorf("alltoallv-seq: %w", err)
+	}
+	for i := 0; i < p; i++ {
+		if !bytes.Equal(inSeq[i], in[i]) {
+			return fmt.Errorf("alltoallv-seq: rank %d from %d got %q want %q", r, i, inSeq[i], in[i])
+		}
+	}
+
+	// Streaming variant: every source must be delivered exactly once with
+	// the right payload, own payload first (its fixed position in the
+	// otherwise arrival-ordered callback sequence).
+	outF := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		outF[i] = payload("a2af", r, i)
+	}
+	seen := make([]bool, p)
+	first := -1
+	calls := 0
+	err = AlltoallvFunc(c, outF, func(src int, pay []byte) error {
+		if first == -1 {
+			first = src
+		}
+		if src < 0 || src >= p || seen[src] {
+			return fmt.Errorf("duplicate or bad src %d", src)
+		}
+		seen[src] = true
+		calls++
+		if want := payload("a2af", src, r); !bytes.Equal(pay, want) {
+			return fmt.Errorf("from %d got %q want %q", src, pay, want)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("alltoallv-func: rank %d: %w", r, err)
+	}
+	if calls != p || first != r {
+		return fmt.Errorf("alltoallv-func: rank %d calls=%d first=%d, want %d calls and self first", r, calls, first, p)
+	}
+
+	// Scratch-reusing allgather, twice through the same scratch to prove a
+	// second round leaves no stale bytes behind.
+	agScratch := make([][]byte, p)
+	for round := 0; round < 2; round++ {
+		res, err := AllgatherInto(c, payload("ag2", r, round), agScratch)
+		if err != nil {
+			return fmt.Errorf("allgather-into: %w", err)
+		}
+		for i := 0; i < p; i++ {
+			if want := payload("ag2", i, round); !bytes.Equal(res[i], want) {
+				return fmt.Errorf("allgather-into: rank %d round %d slot %d got %q want %q", r, round, i, res[i], want)
+			}
+		}
+	}
+
+	// Fused per-iteration reduction: component-wise sum/max/max/sum. The
+	// expected values are exact in float64 (integers plus halves), so any
+	// combine association must reproduce them bit-for-bit.
+	st, err := AllreduceIterStats(c, IterStats{
+		Moved: int64(r + 1), Work: int64(2 * r), CommNS: int64(100 - r), Q: float64(r) + 0.5,
+	})
+	if err != nil {
+		return fmt.Errorf("iterstats: %w", err)
+	}
+	wantStats := IterStats{
+		Moved:  int64(p * (p + 1) / 2),
+		Work:   int64(2 * (p - 1)),
+		CommNS: 100,
+		Q:      float64(p*(p-1)/2) + 0.5*float64(p),
+	}
+	if st != wantStats {
+		return fmt.Errorf("iterstats: rank %d got %+v want %+v", r, st, wantStats)
+	}
+
+	// Pipelined ring and size-based selection over a 64-record u64 vector
+	// with an elementwise-max combine (an exact semilattice, so every
+	// algorithm must produce identical bytes). Fixed order once more: all
+	// three runs share tagReduce.
+	const nrec = 64
+	mineV := make([]byte, nrec*8)
+	wantV := make([]byte, nrec*8)
+	for i := 0; i < nrec; i++ {
+		binary.LittleEndian.PutUint64(mineV[i*8:], uint64(r*1000+i))
+		binary.LittleEndian.PutUint64(wantV[i*8:], uint64((p-1)*1000+i))
+	}
+	maxU64 := func(a, b []byte) []byte {
+		res := make([]byte, len(a))
+		for i := 0; i+8 <= len(a); i += 8 {
+			va, vb := binary.LittleEndian.Uint64(a[i:]), binary.LittleEndian.Uint64(b[i:])
+			if vb > va {
+				va = vb
+			}
+			binary.LittleEndian.PutUint64(res[i:], va)
+		}
+		return res
+	}
+	split8 := func(data []byte, n int) [][]byte {
+		segs := make([][]byte, n)
+		rec := len(data) / 8
+		for i := 0; i < n; i++ {
+			segs[i] = data[(i*rec/n)*8 : ((i+1)*rec/n)*8]
+		}
+		return segs
+	}
+	ringRuns := []struct {
+		name string
+		fn   func() ([]byte, error)
+	}{
+		{"ring-pipelined", func() ([]byte, error) { return AllreduceBytesRingPipelined(c, mineV, 8, split8, maxU64) }},
+		{"auto-ring", func() ([]byte, error) { return AllreduceBytesAuto(c, mineV, autoRingMinRecords, split8, maxU64) }},
+		{"auto-doubling", func() ([]byte, error) { return AllreduceBytesAuto(c, mineV, 1, split8, maxU64) }},
+	}
+	for _, v := range ringRuns {
+		res, err := v.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		if !bytes.Equal(res, wantV) {
+			return fmt.Errorf("%s: rank %d result diverges from elementwise max", v.name, r)
+		}
+	}
+
 	gath, err := Gather(c, 0, payload("root", r))
 	if err != nil {
 		return fmt.Errorf("gather: %w", err)

@@ -60,28 +60,30 @@ func TestCombineHubProposalsCommutative(t *testing.T) {
 }
 
 func TestResolveQueries(t *testing.T) {
-	err := comm.RunWorld(4, func(c comm.Comm) error {
-		// lookup(x) = x*10 computed at owner x%4
-		queries := []int{c.Rank(), 7, 0, 13, c.Rank() + 4}
-		res, err := resolveQueries(c, queries, func(x int) int { return x * 10 })
-		if err != nil {
-			return err
-		}
-		for i, x := range queries {
-			if res[i] != x*10 {
-				t.Errorf("rank %d: res[%d] = %d, want %d", c.Rank(), i, res[i], x*10)
+	for _, seq := range []bool{false, true} {
+		err := comm.RunWorld(4, func(c comm.Comm) error {
+			// lookup(x) = x*10 computed at owner x%4
+			queries := []int{c.Rank(), 7, 0, 13, c.Rank() + 4}
+			res, err := resolveQueries(c, queries, func(x int) int { return x * 10 }, seq)
+			if err != nil {
+				return err
 			}
+			for i, x := range queries {
+				if res[i] != x*10 {
+					t.Errorf("seq=%v rank %d: res[%d] = %d, want %d", seq, c.Rank(), i, res[i], x*10)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
 }
 
 func TestResolveQueriesEmpty(t *testing.T) {
 	err := comm.RunWorld(3, func(c comm.Comm) error {
-		res, err := resolveQueries(c, nil, func(x int) int { return x })
+		res, err := resolveQueries(c, nil, func(x int) int { return x }, false)
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 		b.PutInts(reqs[r])
 		out[r] = b.Bytes()
 	}
-	in, err := comm.Alltoallv(s.c, out)
+	in, err := s.alltoallv(out)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -75,22 +75,22 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 		}
 		replies[r] = b.Bytes()
 	}
-	back, err := comm.Alltoallv(s.c, replies)
-	if err != nil {
-		return nil, 0, err
-	}
+	// Install dense IDs as each reply arrives: every community is in
+	// exactly one request bucket, so the per-source writes are disjoint
+	// and arrival order is immaterial.
 	s.dense = make([]int32, s.n)
 	for i := range s.dense {
 		s.dense[i] = -1
 	}
-	for r := 0; r < s.p; r++ {
-		rd := wire.NewReader(back[r])
-		for _, c := range reqs[r] {
+	err = s.alltoallvFunc(replies, func(src int, payload []byte) error {
+		rd := wire.NewReader(payload)
+		for _, c := range reqs[src] {
 			s.dense[c] = int32(rd.Varint())
 		}
-		if err := rd.Err(); err != nil {
-			return nil, 0, err
-		}
+		return rd.Err()
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 
 	// 3. Translate and ship arcs to the owners of their new source vertex.
@@ -114,12 +114,14 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	for r := 0; r < s.p; r++ {
 		arcBufs[r] = s.sendBufs[r].Bytes()
 	}
-	arcIn, err := comm.Alltoallv(s.c, arcBufs)
+	arcIn, err := s.alltoallv(arcBufs)
 	if err != nil {
 		return nil, 0, err
 	}
 
-	// 4. Assemble this rank's portion of the merged graph.
+	// 4. Assemble this rank's portion of the merged graph. The transfer
+	// above is overlapped, but arc weights accumulate in floating point,
+	// so the frames are decoded in rank order for run-to-run bit identity.
 	adj := make(map[int]map[int]float64)
 	for r := 0; r < s.p; r++ {
 		rd := wire.NewReader(arcIn[r])
@@ -185,8 +187,13 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 }
 
 // resolveQueries maps each query x to lookup(x) evaluated on the rank that
-// owns x (x mod P), via a request/reply all-to-all exchange.
-func resolveQueries(c comm.Comm, queries []int, lookup func(int) int) ([]int, error) {
+// owns x (x mod P), via a request/reply all-to-all exchange. Both legs
+// stream: each request frame is answered as it arrives (the reply for
+// source r depends only on r's frame), and each reply is scattered into
+// the result as it lands (pos buckets are disjoint), so seq=false overlaps
+// all decode/encode work with in-flight traffic; seq=true is the
+// sequential baseline (Options.SequentialCollectives).
+func resolveQueries(c comm.Comm, queries []int, lookup func(int) int, seq bool) ([]int, error) {
 	p := c.Size()
 	reqs := make([][]int, p)
 	pos := make([][]int, p) // original index of each routed query
@@ -201,36 +208,33 @@ func resolveQueries(c comm.Comm, queries []int, lookup func(int) int) ([]int, er
 		b.PutInts(reqs[r])
 		out[r] = b.Bytes()
 	}
-	in, err := comm.Alltoallv(c, out)
-	if err != nil {
-		return nil, err
-	}
 	replies := make([][]byte, p)
-	for r := 0; r < p; r++ {
-		rd := wire.NewReader(in[r])
+	err := a2aFunc(c, seq, out, func(src int, payload []byte) error {
+		rd := wire.NewReader(payload)
 		ids := rd.Ints()
 		if err := rd.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		b := wire.NewBuffer(0)
 		for _, x := range ids {
 			b.PutVarint(int64(lookup(x)))
 		}
-		replies[r] = b.Bytes()
-	}
-	back, err := comm.Alltoallv(c, replies)
+		replies[src] = b.Bytes()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := make([]int, len(queries))
-	for r := 0; r < p; r++ {
-		rd := wire.NewReader(back[r])
-		for _, i := range pos[r] {
+	err = a2aFunc(c, seq, replies, func(src int, payload []byte) error {
+		rd := wire.NewReader(payload)
+		for _, i := range pos[src] {
 			res[i] = int(rd.Varint())
 		}
-		if err := rd.Err(); err != nil {
-			return nil, err
-		}
+		return rd.Err()
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

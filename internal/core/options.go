@@ -112,6 +112,13 @@ type Options struct {
 	// comm.ErrTimeout instead of hanging the world on a dead or wedged
 	// peer. 0 keeps unbounded blocking. See docs/ROBUSTNESS.md.
 	CommDeadline time.Duration
+	// SequentialCollectives routes every exchange through the sequential
+	// baseline collectives (comm.AlltoallvSeq, four unfused per-iteration
+	// allreduces) instead of the overlapped engine. Results are
+	// bit-identical either way — this is an A/B knob for benchmarks and
+	// the determinism tests that prove that equivalence; see
+	// docs/PERFORMANCE.md.
+	SequentialCollectives bool
 }
 
 // CommModel is an α-β communication cost model: sending a message of b

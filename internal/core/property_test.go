@@ -122,7 +122,11 @@ func TestQuickRunRankAgreesAcrossTransports(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		inprocQ = res.Modularity
+		// Every rank reports the same Q; only rank 0 writes the shared
+		// variable (concurrent same-value writes are still a data race).
+		if c.Rank() == 0 {
+			inprocQ = res.Modularity
+		}
 		return nil
 	})
 	if err != nil {

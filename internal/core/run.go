@@ -55,13 +55,51 @@ func (s *stage) cluster() (stageResult, error) {
 		if err := s.flushDeltas(); err != nil {
 			return res, err
 		}
-		q, err := s.globalModularity()
-		if err != nil {
-			return res, err
-		}
-		movedTotal, err := comm.AllreduceInt64Sum(s.c, int64(movedLocal+hubMoved))
-		if err != nil {
-			return res, err
+		// Per-iteration scalars. Local values are all computed before the
+		// reduction so one fused collective can carry them:
+		//   - localModularity: this rank's exact Q contribution;
+		//   - iterWork: deterministic work units of the iteration (the
+		//     simulated parallel time is the per-iteration max across
+		//     ranks × WorkUnitNS — wall clock cannot separate ranks
+		//     sharing the host's cores, see EXPERIMENTS.md);
+		//   - commNS: the α-β traffic cost of the iteration's exchanges
+		//     (the fused collective's own frames are not priced — see
+		//     EXPERIMENTS.md on the Fig. 8 comm breakdown).
+		local := s.localModularity()
+		iterWork := s.work - workStart
+		snapEnd := s.c.Stats().Snapshot()
+		commNS := s.opt.Comm.costNS(snapEnd.MsgsSent-snapStart.MsgsSent,
+			snapEnd.BytesSent-snapStart.BytesSent)
+		var q float64
+		var movedTotal, maxWork, maxComm int64
+		if s.opt.SequentialCollectives {
+			// Unfused baseline: four back-to-back scalar allreduces. Each
+			// float combine tree matches its fused counterpart, so both
+			// paths produce bit-identical results.
+			var err error
+			if q, err = comm.AllreduceFloat64Sum(s.c, local); err != nil {
+				return res, err
+			}
+			if movedTotal, err = comm.AllreduceInt64Sum(s.c, int64(movedLocal+hubMoved)); err != nil {
+				return res, err
+			}
+			if maxWork, err = comm.AllreduceInt64Max(s.c, iterWork); err != nil {
+				return res, err
+			}
+			if maxComm, err = comm.AllreduceInt64Max(s.c, commNS); err != nil {
+				return res, err
+			}
+		} else {
+			st, err := comm.AllreduceIterStats(s.c, comm.IterStats{
+				Moved:  int64(movedLocal + hubMoved),
+				Work:   iterWork,
+				CommNS: commNS,
+				Q:      local,
+			})
+			if err != nil {
+				return res, err
+			}
+			q, movedTotal, maxWork, maxComm = st.Q, st.Moved, st.Work, st.CommNS
 		}
 		if debugInvariants {
 			if err := s.checkInvariants(iter); err != nil {
@@ -74,26 +112,7 @@ func (s *stage) cluster() (stageResult, error) {
 			}
 		}
 		s.tm.Stop()
-		// Simulated parallel time: the slowest rank bounds the iteration.
-		// The per-iteration maximum across ranks of deterministic work
-		// units (× WorkUnitNS) is the scalability measure the experiments
-		// report; wall clock cannot separate ranks sharing the host's
-		// cores (EXPERIMENTS.md).
-		iterWork := s.work - workStart
-		maxWork, err := comm.AllreduceInt64Max(s.c, iterWork)
-		if err != nil {
-			return res, err
-		}
 		res.SimNS += maxWork * WorkUnitNS
-		// Simulated communication time of the iteration: the slowest
-		// rank's α-β traffic cost (measured bytes and message counts).
-		snapEnd := s.c.Stats().Snapshot()
-		commNS := s.opt.Comm.costNS(snapEnd.MsgsSent-snapStart.MsgsSent,
-			snapEnd.BytesSent-snapStart.BytesSent)
-		maxComm, err := comm.AllreduceInt64Max(s.c, commNS)
-		if err != nil {
-			return res, err
-		}
 		res.CommSimNS += maxComm
 		s.bd.Iters++
 		res.Iters = iter
@@ -339,7 +358,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	}
 	for {
 		if opt.MaxOuterLevels > 0 && out.outer >= opt.MaxOuterLevels {
-			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) })
+			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +370,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		if err != nil {
 			return nil, err
 		}
-		cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.dense[cs.comm[x]]) })
+		cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.dense[cs.comm[x]]) }, opt.SequentialCollectives)
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +397,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		out.comm2NS += r2.CommSimNS
 		if r2.Q-prevQ < opt.MinGain {
 			// Keep this stage's (possibly tiny) improvement, then stop.
-			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) })
+			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
 			if err != nil {
 				return nil, err
 			}

@@ -79,6 +79,18 @@ type stage struct {
 	sendBufs []*wire.Buffer
 	frames   [][]byte
 
+	// recvIn is the receive-side scratch handed to comm.AlltoallvInto: the
+	// slice header and the self-copy backing array are reused across
+	// exchanges, so steady-state iterations allocate nothing for them (the
+	// peer slots are replaced by transport buffers each call).
+	recvIn [][]byte
+
+	// deltaSrc buffers flushDeltas records per source rank: the streaming
+	// exchange decodes frames in arrival order, but Σtot is accumulated in
+	// floating point, so the records are applied in rank order to keep the
+	// sums bit-identical run to run (see docs/PERFORMANCE.md).
+	deltaSrc [][]deltaRec
+
 	// hubBuf is the reusable delegate-exchange encode buffer.
 	hubBuf *wire.Buffer
 
@@ -178,6 +190,8 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		s.sendBufs[r] = wire.NewBuffer(0)
 	}
 	s.frames = make([][]byte, s.p)
+	s.recvIn = make([][]byte, s.p)
+	s.deltaSrc = make([][]deltaRec, s.p)
 	s.reqs = make([][]int, s.p)
 	nh := len(sg.Hubs)
 	s.props = make([]hubProposal, nh)

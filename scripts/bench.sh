@@ -5,16 +5,17 @@
 # committed pre-change seed numbers. CI-runnable; override the iteration
 # counts for a quick smoke:
 #
-#   scripts/bench.sh                         # full run, writes BENCH_2.json
-#   KERNEL_TIME=5x MACRO_TIME=1x scripts/bench.sh OUT=/dev/null
+#   scripts/bench.sh                         # full run, writes BENCH_4.json
+#   KERNEL_TIME=5x MACRO_TIME=1x COMM_TIME=10x scripts/bench.sh OUT=/dev/null
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-2}"
+PR="${PR:-4}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
 MACRO_TIME="${MACRO_TIME:-3x}"
+COMM_TIME="${COMM_TIME:-100x}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -22,6 +23,11 @@ trap 'rm -f "$raw"' EXIT
 echo "== kernel microbenchmarks (-benchtime $KERNEL_TIME) ==" >&2
 go test -run '^$' -bench '^BenchmarkKernel' -benchtime "$KERNEL_TIME" -benchmem \
     ./internal/core/ | tee -a "$raw" >&2
+
+echo "== collective engine benchmarks (-benchtime $COMM_TIME) ==" >&2
+go test -run '^$' \
+    -bench '^(BenchmarkAlltoallvSeq|BenchmarkAlltoallvOverlap|BenchmarkAllreduceRingPipelined)$' \
+    -benchtime "$COMM_TIME" -benchmem ./internal/comm/ | tee -a "$raw" >&2
 
 echo "== macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 go test -run '^$' -bench '^(BenchmarkDistributedLouvain|BenchmarkFig8Breakdown)$' \
