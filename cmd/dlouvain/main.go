@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		graphPath   = flag.String("graph", "", "path to an edge-list (.txt) or binary (.bin) graph file")
+		graphPath   = flag.String("graph", "", "path to an edge-list (.txt), binary (.bin), or sharded binary (.sbin) graph file")
 		genSpec     = flag.String("gen", "", "generator spec, e.g. lfr:n=5000,mu=0.3,seed=1 (see internal/gen.ParseSpec)")
 		p           = flag.Int("p", 4, "number of ranks (simulated processors)")
 		dhigh       = flag.Int("dhigh", 0, "hub degree threshold (0 = automatic)")
@@ -62,10 +62,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	g, truth, err := loadGraph(*graphPath, *genSpec)
+	tIngest := time.Now()
+	g, truth, err := loadGraph(*graphPath, *genSpec, *workers)
 	if err != nil {
 		fatal(err)
 	}
+	ingestTime := time.Since(tIngest)
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
@@ -96,8 +98,8 @@ func main() {
 	fmt.Printf("modularity: %.6f (%d communities)\n", res.Modularity, res.Membership.NumCommunities())
 	fmt.Printf("hubs: %d  stage1 iters: %d  outer levels: %d\n",
 		res.HubCount, res.Stage1Iters, res.OuterLevels)
-	fmt.Printf("times: partition %v, stage1 %v, stage2 %v, total wall %v\n",
-		res.PartitionTime, res.Stage1Time, res.Stage2Time, res.TotalTime)
+	fmt.Printf("times: ingest %v, partition %v, stage1 %v, stage2 %v, total wall %v\n",
+		ingestTime, res.PartitionTime, res.Stage1Time, res.Stage2Time, res.TotalTime)
 	fmt.Printf("simulated parallel clustering time: %v (stage1 %v + stage2 %v)\n",
 		res.Stage1Sim+res.Stage2Sim, res.Stage1Sim, res.Stage2Sim)
 	fmt.Printf("partition census: W=%.4f, max ghosts=%d\n",
@@ -106,6 +108,8 @@ func main() {
 		res.CommStats.TotalBytesSent(), res.CommStats.MaxBytesSent())
 
 	if *breakdown {
+		fmt.Printf("pipeline breakdown: ingest %v, partition %v, stage1 %v, stage2 %v\n",
+			ingestTime, res.PartitionTime, res.Stage1Time, res.Stage2Time)
 		fmt.Printf("stage-1 breakdown (rank 0): %s over %d iterations\n",
 			res.Breakdown.String(), res.Breakdown.Iters)
 	}
@@ -162,7 +166,7 @@ func runSequential(g *graph.Graph, dist *core.Result) {
 		dist.Modularity-seq.Modularity)
 }
 
-func loadGraph(path, spec string) (*graph.Graph, graph.Membership, error) {
+func loadGraph(path, spec string, workers int) (*graph.Graph, graph.Membership, error) {
 	switch {
 	case path != "" && spec != "":
 		return nil, nil, fmt.Errorf("pass either -graph or -gen, not both")
@@ -174,12 +178,14 @@ func loadGraph(path, spec string) (*graph.Graph, graph.Membership, error) {
 		defer f.Close()
 		var g *graph.Graph
 		switch {
+		case strings.HasSuffix(path, ".sbin"):
+			g, err = graph.ReadBinarySharded(f, workers)
 		case strings.HasSuffix(path, ".bin"):
 			g, err = graph.ReadBinary(f)
 		case strings.HasSuffix(path, ".metis"):
 			g, err = graph.ReadMETIS(f)
 		default:
-			g, err = graph.ReadEdgeList(f)
+			g, err = graph.ReadEdgeListParallel(f, workers)
 		}
 		return g, nil, err
 	case spec != "":

@@ -5,6 +5,7 @@
 //
 //	gengraph -gen rmat:scale=14,ef=16,seed=1 -o web.txt
 //	gengraph -gen lfr:n=10000,mu=0.3 -o social.bin -truth social.communities
+//	gengraph -gen rmat:scale=20 -o web.sbin -shards 16
 package main
 
 import (
@@ -20,8 +21,9 @@ import (
 func main() {
 	var (
 		spec      = flag.String("gen", "", "generator spec (see internal/gen.ParseSpec)")
-		outPath   = flag.String("o", "", "output path (.bin = binary format, otherwise edge list)")
+		outPath   = flag.String("o", "", "output path (.bin = binary, .sbin = sharded binary, .metis = METIS, otherwise edge list)")
 		truthPath = flag.String("truth", "", "write the planted membership here (LFR/SBM/caveman only)")
+		shards    = flag.Int("shards", 16, "shard count for .sbin output (readers decode shards concurrently)")
 	)
 	flag.Parse()
 	if *spec == "" || *outPath == "" {
@@ -37,6 +39,8 @@ func main() {
 		fatal(err)
 	}
 	switch {
+	case strings.HasSuffix(*outPath, ".sbin"):
+		err = graph.WriteBinarySharded(f, g, *shards)
 	case strings.HasSuffix(*outPath, ".bin"):
 		err = graph.WriteBinary(f, g)
 	case strings.HasSuffix(*outPath, ".metis"):

@@ -22,14 +22,15 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "path to a graph file (.txt edge list, .bin, or .metis)")
+		graphPath = flag.String("graph", "", "path to a graph file (.txt edge list, .bin, .sbin, or .metis)")
 		genSpec   = flag.String("gen", "", "generator spec (see internal/gen.ParseSpec)")
 		procsArg  = flag.String("procs", "64,256,1024", "comma-separated processor counts")
 		dhigh     = flag.Int("dhigh", 0, "hub degree threshold (0 = 2× average degree)")
+		workers   = flag.Int("workers", 0, "workers for parallel ingest and partitioning (0 = automatic, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *genSpec)
+	g, err := loadGraph(*graphPath, *genSpec, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 		"p", "kind", "min edges", "med edges", "max edges", "W", "max ghosts", "hubs")
 	for _, p := range procs {
 		for _, kind := range []partition.Kind{partition.OneD, partition.Delegate} {
-			l, err := partition.Build(g, partition.Options{P: p, Kind: kind, DHigh: threshold})
+			l, err := partition.Build(g, partition.Options{P: p, Kind: kind, DHigh: threshold, Workers: *workers})
 			if err != nil {
 				fatal(err)
 			}
@@ -69,7 +70,7 @@ func main() {
 	}
 }
 
-func loadGraph(path, spec string) (*graph.Graph, error) {
+func loadGraph(path, spec string, workers int) (*graph.Graph, error) {
 	switch {
 	case path != "" && spec != "":
 		return nil, fmt.Errorf("pass either -graph or -gen, not both")
@@ -80,12 +81,14 @@ func loadGraph(path, spec string) (*graph.Graph, error) {
 		}
 		defer f.Close()
 		switch {
+		case strings.HasSuffix(path, ".sbin"):
+			return graph.ReadBinarySharded(f, workers)
 		case strings.HasSuffix(path, ".bin"):
 			return graph.ReadBinary(f)
 		case strings.HasSuffix(path, ".metis"):
 			return graph.ReadMETIS(f)
 		default:
-			return graph.ReadEdgeList(f)
+			return graph.ReadEdgeListParallel(f, workers)
 		}
 	case spec != "":
 		g, _, err := gen.ParseSpec(spec)

@@ -28,9 +28,10 @@ func main() {
 	var (
 		rank      = flag.Int("rank", -1, "this worker's rank")
 		addrList  = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
-		graphPath = flag.String("graph", "", "path to a graph file (all workers must use the same input)")
+		graphPath = flag.String("graph", "", "path to a graph file (.txt/.bin/.sbin; all workers must use the same input)")
 		genSpec   = flag.String("gen", "", "generator spec (all workers must use the same spec)")
 		heuristic = flag.String("heuristic", "enhanced", "convergence heuristic: enhanced|simple|strict")
+		workers   = flag.Int("workers", 0, "intra-rank workers for ingest and the parallel kernels (0 = automatic, 1 = serial; results are identical)")
 
 		// Robustness knobs (docs/ROBUSTNESS.md). Workers of one world are
 		// rarely started simultaneously, so dials retry with backoff until
@@ -46,10 +47,12 @@ func main() {
 	if *rank < 0 || *rank >= len(addrs) {
 		fatal(fmt.Errorf("-rank %d out of range for %d addresses", *rank, len(addrs)))
 	}
-	g, _, err := loadGraph(*graphPath, *genSpec)
+	tIngest := time.Now()
+	g, _, err := loadGraph(*graphPath, *genSpec, *workers)
 	if err != nil {
 		fatal(err)
 	}
+	ingestTime := time.Since(tIngest)
 
 	ep, err := comm.DialTCPWorldConfig(*rank, addrs, comm.DialOptions{
 		Backoff: comm.Backoff{Base: *dialBase, Total: *dialTotal},
@@ -59,7 +62,7 @@ func main() {
 	}
 	defer ep.Close()
 
-	opt := core.Options{P: len(addrs), CommDeadline: *commDeadline}
+	opt := core.Options{P: len(addrs), CommDeadline: *commDeadline, Workers: *workers}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced
@@ -88,6 +91,7 @@ func main() {
 		fmt.Printf("rank %d done: Q=%.6f, stage1 iters %d\n", *rank, res.Modularity, res.Stage1Iters)
 		return
 	}
+	fmt.Printf("times: ingest %v, stage1 %v, stage2 %v\n", ingestTime, res.Stage1Time, res.Stage2Time)
 	membership := make(graph.Membership, g.NumVertices())
 	for _, piece := range pieces {
 		rd := wire.NewReader(piece)
@@ -106,7 +110,7 @@ func main() {
 		res.Modularity, k, graph.Modularity(g, membership))
 }
 
-func loadGraph(path, spec string) (*graph.Graph, graph.Membership, error) {
+func loadGraph(path, spec string, workers int) (*graph.Graph, graph.Membership, error) {
 	switch {
 	case path != "":
 		f, err := os.Open(path)
@@ -115,10 +119,15 @@ func loadGraph(path, spec string) (*graph.Graph, graph.Membership, error) {
 		}
 		defer f.Close()
 		var g *graph.Graph
-		if strings.HasSuffix(path, ".bin") {
+		switch {
+		case strings.HasSuffix(path, ".sbin"):
+			// The sharded loader reads only the byte ranges it decodes, so
+			// a worker never buffers the whole file twice.
+			g, err = graph.ReadBinarySharded(f, workers)
+		case strings.HasSuffix(path, ".bin"):
 			g, err = graph.ReadBinary(f)
-		} else {
-			g, err = graph.ReadEdgeList(f)
+		default:
+			g, err = graph.ReadEdgeListParallel(f, workers)
 		}
 		return g, nil, err
 	case spec != "":

@@ -31,10 +31,12 @@ import (
 //
 // The analyzer additionally flags collectives issued off the rank's main
 // goroutine: inside a function literal launched with `go`, or inside a task
-// literal handed to a worker pool's parFor (internal/core's intra-rank
-// parallel kernels). The communicator matches messages by (source, tag) in
-// program order on the rank's goroutine, so a collective from a concurrent
-// goroutine races that matching even when every rank reaches it.
+// literal handed to a worker pool's parFor/ParFor (internal/core's
+// intra-rank parallel kernels and internal/par's exported pool behind the
+// ingest and partition pipelines). The communicator matches messages by
+// (source, tag) in program order on the rank's goroutine, so a collective
+// from a concurrent goroutine races that matching even when every rank
+// reaches it.
 var AnalyzerCollectiveSym = &Analyzer{
 	Name: "collectivesym",
 	Doc: "flags comm collectives reachable only under rank-dependent control flow " +
@@ -292,15 +294,17 @@ func (w *symWalker) walkStmt(s ast.Stmt, div ast.Node, async string) {
 	}
 }
 
-// isParForCall reports whether call invokes a parFor method/function (the
-// worker-pool dispatch of internal/core; matched by name so fixtures and
-// future pools are covered without importing core).
+// isParForCall reports whether call invokes a parFor/ParFor
+// method/function (the worker-pool dispatch of internal/core and the
+// exported internal/par.Pool.ParFor behind the ingest and partition
+// pipelines; matched by name so fixtures and future pools are covered
+// without importing those packages).
 func isParForCall(call *ast.CallExpr) bool {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		return fun.Sel.Name == "parFor"
+		return fun.Sel.Name == "parFor" || fun.Sel.Name == "ParFor"
 	case *ast.Ident:
-		return fun.Name == "parFor"
+		return fun.Name == "parFor" || fun.Name == "ParFor"
 	}
 	return false
 }

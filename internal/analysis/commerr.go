@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // AnalyzerCommErr flags discarded errors from communication operations. A
@@ -22,10 +23,17 @@ import (
 // final gather are routinely unactionable (mirroring common io.Closer
 // practice). Everything else must be handled or explicitly waived with
 // //lint:ignore commerr <reason>.
+// The same obligation extends to the graph package's IO entry points
+// (including PR 5's parallel and sharded variants): a loader that drops a
+// read error proceeds with a nil or truncated graph, and in an SPMD world
+// where every rank ingests the same input, one rank silently failing to
+// load produces divergent layouts and the identical deadlock-or-wrong-answer
+// endgame.
 var AnalyzerCommErr = &Analyzer{
 	Name: "commerr",
-	Doc:  "flags comm operations whose error result is discarded (statement call, blank assignment, go/defer)",
-	Run:  runCommErr,
+	Doc: "flags comm operations and graph IO entry points whose error result is " +
+		"discarded (statement call, blank assignment, go/defer)",
+	Run: runCommErr,
 }
 
 // commErrOps are the checked operations: the point-to-point pair plus
@@ -50,21 +58,34 @@ var commErrOps = map[string]bool{
 	"DialTCPWorldConfig": true, "RunWorldChaos": true, "Drain": true,
 }
 
+// graphIOOps are the graph package's IO entry points. The parallel ingest
+// pipeline (PR 5) added the Parallel and Sharded variants; every one reports
+// malformed input or a failed sink through its error, and nothing else.
+var graphIOOps = map[string]bool{
+	"ReadEdgeList": true, "ReadEdgeListParallel": true,
+	"ReadBinary": true, "ReadBinarySharded": true, "ReadMETIS": true,
+	"WriteEdgeList": true, "WriteBinary": true, "WriteBinarySharded": true,
+	"WriteMETIS": true, "OpenSharded": true, "ReadVertexRange": true,
+}
+
+// graphPkgSuffix identifies the graph package by import-path suffix.
+const graphPkgSuffix = "internal/graph"
+
 func runCommErr(p *Pass) {
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
-				if name, ok := commErrOp(p.Info, st.X); ok {
-					p.Reportf(st.Pos(), "result of comm %s discarded: a comm error means a dead peer or broken transport and must be propagated", name)
+				if name, kind, ok := commErrOp(p.Info, st.X); ok {
+					p.Reportf(st.Pos(), "result of %s %s discarded: %s", kind, name, errWhy(kind))
 				}
 			case *ast.GoStmt:
-				if name, ok := commErrOp(p.Info, st.Call); ok {
-					p.Reportf(st.Pos(), "comm %s in go statement: its error is unobservable; collect it through the rank's return value instead", name)
+				if name, kind, ok := commErrOp(p.Info, st.Call); ok {
+					p.Reportf(st.Pos(), "%s %s in go statement: its error is unobservable; collect it through the rank's return value instead", kind, name)
 				}
 			case *ast.DeferStmt:
-				if name, ok := commErrOp(p.Info, st.Call); ok {
-					p.Reportf(st.Pos(), "comm %s in defer statement: its error is unobservable; call it explicitly and check the error", name)
+				if name, kind, ok := commErrOp(p.Info, st.Call); ok {
+					p.Reportf(st.Pos(), "%s %s in defer statement: its error is unobservable; call it explicitly and check the error", kind, name)
 				}
 			case *ast.AssignStmt:
 				checkBlankCommErr(p, st)
@@ -74,27 +95,58 @@ func runCommErr(p *Pass) {
 	}
 }
 
-// commErrOp reports whether e is a call to a checked comm operation.
-func commErrOp(info *types.Info, e ast.Expr) (string, bool) {
+// errWhy explains the stakes of a dropped error per operation kind.
+func errWhy(kind string) string {
+	if kind == "graph IO" {
+		return "a failed read or write means a missing or truncated graph and must be propagated"
+	}
+	return "a comm error means a dead peer or broken transport and must be propagated"
+}
+
+// commErrOp reports whether e is a call to a checked comm operation or
+// graph IO entry point, and which kind it is.
+func commErrOp(info *types.Info, e ast.Expr) (string, string, bool) {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
-		return "", false
+		return "", "", false
 	}
 	for name := range commErrOps {
 		if isCommCallee(info, call, name) {
-			return name, true
+			return name, "comm", true
 		}
 	}
-	return "", false
+	for name := range graphIOOps {
+		if isGraphIOCallee(info, call, name) {
+			return name, "graph IO", true
+		}
+	}
+	return "", "", false
 }
 
-// checkBlankCommErr flags assignments that pipe a comm operation's error
+// isGraphIOCallee reports whether call resolves to a checked function or
+// method named name declared in the graph package. With missing type info
+// it falls back to a syntactic `graph.<name>(...)` match (the Sharded
+// methods have names distinctive enough not to need a method fallback).
+func isGraphIOCallee(info *types.Info, call *ast.CallExpr, name string) bool {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name() == name && fn.Pkg() != nil &&
+			(fn.Pkg().Path() == graphPkgSuffix || strings.HasSuffix(fn.Pkg().Path(), "/"+graphPkgSuffix))
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "graph"
+}
+
+// checkBlankCommErr flags assignments that pipe a checked operation's error
 // result into the blank identifier.
 func checkBlankCommErr(p *Pass, as *ast.AssignStmt) {
 	if len(as.Rhs) != 1 {
 		return
 	}
-	name, ok := commErrOp(p.Info, as.Rhs[0])
+	name, kind, ok := commErrOp(p.Info, as.Rhs[0])
 	if !ok {
 		return
 	}
@@ -105,7 +157,7 @@ func checkBlankCommErr(p *Pass, as *ast.AssignStmt) {
 			continue
 		}
 		if id, isIdent := as.Lhs[i].(*ast.Ident); isIdent && id.Name == "_" {
-			p.Reportf(id.Pos(), "error of comm %s assigned to _: a comm error means a dead peer or broken transport and must be propagated", name)
+			p.Reportf(id.Pos(), "error of %s %s assigned to _: %s", kind, name, errWhy(kind))
 		}
 	}
 }

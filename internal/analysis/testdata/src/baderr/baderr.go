@@ -1,8 +1,14 @@
-// Package baderr is a negative fixture for the commerr analyzer: comm
-// errors dropped in every form the analyzer recognizes.
+// Package baderr is a negative fixture for the commerr analyzer: comm and
+// graph-IO errors dropped in every form the analyzer recognizes.
 package baderr
 
-import "repro/internal/comm"
+import (
+	"bytes"
+	"io"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+)
 
 const tagWork = 2
 
@@ -78,6 +84,30 @@ func DropStreamingAlltoall(c comm.Comm, out [][]byte) {
 func DropFusedReduce(c comm.Comm) comm.IterStats {
 	st, _ := comm.AllreduceIterStats(c, comm.IterStats{}) // want commerr
 	return st
+}
+
+// DropWriteSharded drops the sharded writer's error: a truncated .sbin on
+// disk fails every later run.
+func DropWriteSharded(w io.Writer, g *graph.Graph) {
+	graph.WriteBinarySharded(w, g, 8) // want commerr
+}
+
+// DropParallelIngest blanks the parallel parser's error and carries a nil
+// graph forward.
+func DropParallelIngest(r io.Reader) *graph.Graph {
+	g, _ := graph.ReadEdgeListParallel(r, 4) // want commerr
+	return g
+}
+
+// DropShardedRead blanks the sharded loader's error.
+func DropShardedRead(data []byte) *graph.Graph {
+	g, _ := graph.ReadBinarySharded(bytes.NewReader(data), 2) // want commerr
+	return g
+}
+
+// HandledIngestOK is the control case for graph IO.
+func HandledIngestOK(r io.Reader) (*graph.Graph, error) {
+	return graph.ReadEdgeListParallel(r, 4)
 }
 
 func keepFirst(a, b []byte) []byte { return a }

@@ -99,3 +99,43 @@ func FusedReduceInTask(c comm.Comm, p *pool) error {
 	}
 	return nil
 }
+
+// exportedPool mimics internal/par's exported Pool (PR 5): the ingest and
+// partition pipelines dispatch through ParFor, so a collective inside one of
+// those kernels is the same race as in core's unexported pool.
+type exportedPool struct{}
+
+func (p *exportedPool) ParFor(nChunks int, kernel func(chunk, worker int)) {
+	for c := 0; c < nChunks; c++ {
+		kernel(c, 0)
+	}
+}
+
+// BarrierInExportedTask covers the exported ParFor entry point.
+func BarrierInExportedTask(c comm.Comm, p *exportedPool) error {
+	errs := make([]error, 4)
+	p.ParFor(4, func(chunk, worker int) {
+		errs[chunk] = comm.Barrier(c) // want collectivesym
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngestThenGatherOK is the control case for the ingest shape: chunk kernels
+// do pure parsing work and the collective runs after the pool drains.
+func IngestThenGatherOK(c comm.Comm, p *exportedPool, data []byte) ([][]byte, error) {
+	counts := make([]int, 2)
+	p.ParFor(2, func(chunk, worker int) {
+		lo, hi := chunk*len(data)/2, (chunk+1)*len(data)/2
+		for _, b := range data[lo:hi] {
+			if b == '\n' {
+				counts[chunk]++
+			}
+		}
+	})
+	return comm.Allgather(c, []byte{byte(counts[0] + counts[1])})
+}

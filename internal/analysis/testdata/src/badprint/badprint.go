@@ -17,3 +17,21 @@ func Chatter(n int) {
 func WriterOK(w interface{ Write([]byte) (int, error) }, n int) {
 	fmt.Fprintf(w, "processed %d\n", n)
 }
+
+// ingestPool mimics internal/par's exported Pool used by the parallel
+// ingest pipeline (PR 5); progress printing from a chunk kernel interleaves
+// across workers on top of being library noise.
+type ingestPool struct{}
+
+func (p *ingestPool) ParFor(nChunks int, kernel func(chunk, worker int)) {
+	for c := 0; c < nChunks; c++ {
+		kernel(c, 0)
+	}
+}
+
+// ChattyIngest prints per-chunk progress from a parse kernel.
+func ChattyIngest(p *ingestPool, data []byte) {
+	p.ParFor(4, func(chunk, worker int) {
+		fmt.Printf("chunk %d: %d bytes\n", chunk, len(data)/4) // want noprint
+	})
+}

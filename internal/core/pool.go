@@ -1,155 +1,76 @@
 package core
 
-import (
-	"runtime"
-	"sync/atomic"
-)
+import "repro/internal/par"
 
 // Intra-rank parallelism. Each rank may run its read-only per-iteration
 // kernels (hub-proposal computation, the global-modularity arc scan, the
-// request encode/answer loops) on a small pool of worker goroutines. Two
-// rules keep the parallel path bit-identical to the serial one:
+// request encode/answer loops) on a small pool of worker goroutines. The
+// pool itself lives in internal/par (extracted in PR 5 so the ingest and
+// partitioning pipeline can share it); this file keeps core's historical
+// names so the kernel call sites read unchanged.
 //
-//  1. Chunk boundaries are a pure function of the data size — never of the
-//     worker count — so the same partial results exist at every Workers
-//     setting.
-//  2. Partial results are combined on the caller goroutine in ascending
-//     chunk order, so floating-point reductions associate identically no
-//     matter which worker computed which chunk.
-//
-// Kernels must not touch the communicator: collectives are matched by
-// (source, tag) in program order on the rank's main goroutine, and a
+// The determinism rules are par's: chunk boundaries are a pure function of
+// the data size, and partial results combine on the caller goroutine in
+// ascending chunk order — so every Workers setting produces bit-identical
+// results. Kernels must not touch the communicator: collectives are matched
+// by (source, tag) in program order on the rank's main goroutine, and a
 // collective issued from a worker would race that matching (the
-// collectivesym analyzer rejects collectives inside parFor tasks).
+// collectivesym analyzer rejects collectives inside parFor/ParFor tasks).
 
-// parGrain is the number of items that justify one chunk of parallel work;
-// below this the dispatch overhead exceeds the kernel cost.
-const parGrain = 512
+// parGrain is the number of items that justify one chunk of parallel work.
+const parGrain = par.Grain
 
 // maxChunks caps the chunk count (and thereby the per-chunk scratch) of a
 // single parFor.
-const maxChunks = 64
+const maxChunks = par.MaxChunks
 
 // numChunks returns the chunk count for n items: a function of the data
 // size only, so chunk boundaries are identical at every worker count.
-func numChunks(n int) int {
-	nc := n / parGrain
-	if nc < 1 {
-		return 1
-	}
-	if nc > maxChunks {
-		return maxChunks
-	}
-	return nc
-}
+func numChunks(n int) int { return par.NumChunks(n) }
 
 // chunkSpan returns the half-open item range [lo, hi) of chunk c out of nc
 // over n items. Contiguous, exhaustive, and deterministic.
-func chunkSpan(n, nc, c int) (lo, hi int) {
-	return c * n / nc, (c + 1) * n / nc
-}
+func chunkSpan(n, nc, c int) (lo, hi int) { return par.ChunkSpan(n, nc, c) }
 
 // defaultWorkers is the automatic intra-rank worker count: the host's
 // parallelism divided by the world size (every rank is itself a goroutine
 // competing for the same cores), floored at one.
-func defaultWorkers(worldSize int) int {
-	nw := runtime.GOMAXPROCS(0) / worldSize
-	if nw < 1 {
-		return 1
-	}
-	if nw > maxChunks {
-		return maxChunks
-	}
-	return nw
-}
+func defaultWorkers(worldSize int) int { return par.DefaultWorkers(worldSize) }
 
 // workerPool runs chunked kernels on nw goroutines (the caller participates
-// as worker 0, so nw-1 goroutines are spawned). A nil pool runs everything
-// inline; close releases the goroutines.
+// as worker 0). A nil pool runs everything inline; close releases the
+// goroutines.
 type workerPool struct {
-	nw      int
-	kernel  func(chunk, worker int)
-	nChunks int
-	next    atomic.Int64
-	start   chan struct{}
-	done    chan struct{}
-	quit    chan struct{}
+	p *par.Pool
 }
 
 // newWorkerPool returns a pool of nw workers, or nil when nw <= 1 (the
 // serial path needs no goroutines at all).
 func newWorkerPool(nw int) *workerPool {
-	if nw <= 1 {
+	p := par.NewPool(nw)
+	if p == nil {
 		return nil
 	}
-	p := &workerPool{
-		nw:    nw,
-		start: make(chan struct{}, nw),
-		done:  make(chan struct{}, nw),
-		quit:  make(chan struct{}),
-	}
-	for w := 1; w < nw; w++ {
-		go p.worker(w)
-	}
-	return p
-}
-
-func (p *workerPool) worker(w int) {
-	for {
-		select {
-		case <-p.quit:
-			return
-		case <-p.start:
-			p.runChunks(w)
-			p.done <- struct{}{}
-		}
-	}
-}
-
-// runChunks claims chunks off the shared counter until none remain.
-func (p *workerPool) runChunks(w int) {
-	for {
-		c := int(p.next.Add(1)) - 1
-		if c >= p.nChunks {
-			return
-		}
-		p.kernel(c, w)
-	}
+	return &workerPool{p: p}
 }
 
 // close stops the worker goroutines. Safe on a nil pool.
 func (p *workerPool) close() {
 	if p != nil {
-		close(p.quit)
+		p.p.Close()
 	}
 }
 
-// parFor runs kernel(chunk, worker) for every chunk in [0, nChunks), with
-// worker in [0, workers()). Chunks are claimed dynamically, so the mapping
-// of chunk to worker is nondeterministic — kernels must write only
-// per-chunk or per-worker state and leave cross-chunk combining to the
-// caller (in chunk order, for bit-identical float reductions). parFor
-// returns after every chunk has completed. A nil pool runs the chunks in
-// order on the caller.
+// parFor runs kernel(chunk, worker) for every chunk in [0, nChunks); see
+// par.Pool.ParFor for the determinism contract.
 func (p *workerPool) parFor(nChunks int, kernel func(chunk, worker int)) {
-	if p == nil || nChunks <= 1 {
+	if p == nil {
 		for c := 0; c < nChunks; c++ {
 			kernel(c, 0)
 		}
 		return
 	}
-	p.kernel = kernel
-	p.nChunks = nChunks
-	p.next.Store(0)
-	spawned := p.nw - 1
-	for w := 0; w < spawned; w++ {
-		p.start <- struct{}{}
-	}
-	p.runChunks(0)
-	for w := 0; w < spawned; w++ {
-		<-p.done
-	}
-	p.kernel = nil
+	p.p.ParFor(nChunks, kernel)
 }
 
 // workers returns the worker-index space size of parFor kernels.
@@ -157,5 +78,5 @@ func (p *workerPool) workers() int {
 	if p == nil {
 		return 1
 	}
-	return p.nw
+	return p.p.Workers()
 }

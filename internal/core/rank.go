@@ -50,7 +50,7 @@ func RunRank(c comm.Comm, g *graph.Graph, opt Options) (*RankResult, error) {
 	// and keeps its own part (a real deployment would distribute this
 	// step; the layout is a pure function of the graph and options).
 	layout, err := partition.Build(g, partition.Options{
-		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh,
+		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh, Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -229,7 +229,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	t0 := time.Now()
 	layout, err := partition.Build(g, partition.Options{
-		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh,
+		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh, Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/par"
 )
 
 // seedFromTestdata adds the contents of a testdata file to the corpus, so
@@ -34,8 +36,24 @@ func FuzzReadEdgeList(f *testing.F) {
 		// ReadEdgeList for a ~2^31-vertex graph, which is valid but far too
 		// large to allocate per fuzz input.
 		g, err := readEdgeList(strings.NewReader(input), 1<<20)
+		// The chunked parallel parser shares the grammar line for line: it
+		// must agree with the serial reader on accept/reject, error text,
+		// and every bit of an accepted graph. Call the chunked body
+		// directly — fuzz inputs are below the size cutover.
+		pool := par.NewPool(3)
+		gp, perr := parseEdgeListChunked([]byte(input), pool, 1<<20)
+		pool.Close()
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("serial err %v, parallel err %v", err, perr)
+		}
 		if err != nil {
+			if err.Error() != perr.Error() {
+				t.Fatalf("serial error %q, parallel error %q", err, perr)
+			}
 			return
+		}
+		if diff := graphsIdentical(g, gp); diff != "" {
+			t.Fatalf("parallel parse diverged from serial: %s", diff)
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("parser accepted input %q but produced invalid graph: %v", input, err)
@@ -74,6 +92,43 @@ func FuzzReadMETIS(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("parser accepted input %q but produced invalid graph: %v", input, err)
+		}
+	})
+}
+
+// FuzzReadBinarySharded exercises the sharded loader against arbitrary
+// bytes: hostile shard indexes (bad offsets, counts, bounds) must produce
+// errors, never panics or payload-sized allocations, and an accepted graph
+// must be structurally valid.
+func FuzzReadBinarySharded(f *testing.F) {
+	g, err := FromEdges(6, []Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2}, {U: 4, V: 5, W: 0.5}, {U: 1, V: 1, W: 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		var buf bytes.Buffer
+		if err := WriteBinarySharded(&buf, g, shards); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xa2, 0x50, 0x72, 0x47, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinarySharded(bytes.NewReader(data), 2)
+		if err != nil {
+			return
+		}
+		// A crafted index can encode an asymmetric graph, so full Validate
+		// symmetry is not guaranteed — but counts and CSR structure are.
+		if g.NumVertices() < 0 || g.NumArcs() < 0 {
+			t.Fatal("negative sizes")
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			lo, hi := g.ArcRange(u)
+			if lo > hi {
+				t.Fatalf("vertex %d: offsets not monotone", u)
+			}
 		}
 	})
 }

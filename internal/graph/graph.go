@@ -34,6 +34,7 @@ type Graph struct {
 	weights []float64 // arc weights
 	wdeg    []float64 // cached weighted degrees
 	m2      float64   // 2m = Σ wdeg
+	loops   int64     // cached self-loop arc count
 }
 
 // NumVertices returns the number of vertices N.
@@ -43,17 +44,10 @@ func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
 func (g *Graph) NumArcs() int64 { return g.offsets[len(g.offsets)-1] }
 
 // NumEdges returns the number of undirected edges, counting self-loops once.
+// The self-loop count is cached at build time, so this is O(1) — it is
+// called from the partition census, stats printing, and tests on every run.
 func (g *Graph) NumEdges() int64 {
-	var loops int64
-	for u := 0; u < g.NumVertices(); u++ {
-		lo, hi := g.offsets[u], g.offsets[u+1]
-		for a := lo; a < hi; a++ {
-			if int(g.targets[a]) == u {
-				loops++
-			}
-		}
-	}
-	return (g.NumArcs()-loops)/2 + loops
+	return (g.NumArcs()-g.loops)/2 + g.loops
 }
 
 // ArcRange returns the half-open arc index range [lo, hi) of vertex u.
@@ -286,20 +280,33 @@ func (g *Graph) sortAndCombine() {
 	g.weights = g.weights[:writeAt]
 }
 
-// finish recomputes cached weighted degrees and 2m.
+// finish recomputes cached weighted degrees, 2m, and the self-loop count.
 func (g *Graph) finish() {
 	n := g.NumVertices()
 	g.wdeg = make([]float64, n)
 	g.m2 = 0
+	g.loops = 0
 	for u := 0; u < n; u++ {
 		lo, hi := g.offsets[u], g.offsets[u+1]
 		var k float64
 		for a := lo; a < hi; a++ {
 			k += g.weights[a]
+			if int(g.targets[a]) == u {
+				g.loops++
+			}
 		}
 		g.wdeg[u] = k
 		g.m2 += k
 	}
+}
+
+// fromSortedCSR wraps already sorted-and-combined CSR arrays in a Graph.
+// Callers assert monotone offsets and strictly increasing, in-range targets
+// per vertex (the binary readers validate this while decoding).
+func fromSortedCSR(offsets []int64, targets []int32, weights []float64) *Graph {
+	g := &Graph{offsets: offsets, targets: targets, weights: weights}
+	g.finish()
+	return g
 }
 
 type arcSorter struct {

@@ -1,0 +1,90 @@
+package graph_test
+
+// Ingest benchmarks for the parallel pipeline (tracked in BENCH_5.json).
+// The scale-14 R-MAT input matches the committed serial seed baseline in
+// scripts/bench_seed_pr5.json: the acceptance bar is >= 2x at 8 workers
+// with workers=1 within 10% of the old serial path. This file is an
+// external test package so it can use internal/gen without an import cycle.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// benchGraph is the shared scale-14 R-MAT fixture (16384 vertices,
+// ~260k edges); generating it once keeps per-benchmark setup cheap.
+var benchGraph = sync.OnceValue(func() *graph.Graph {
+	g, err := gen.RMAT(gen.Graph500RMAT(14, 5))
+	if err != nil {
+		panic(err)
+	}
+	return g
+})
+
+func benchText(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, benchGraph()); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkIngestEdgeList(b *testing.B) {
+	text := benchText(b)
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(text)))
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadEdgeList(bytes.NewReader(text)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(wLabel(w), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadEdgeListParallel(bytes.NewReader(text), w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIngestSharded(b *testing.B) {
+	g := benchGraph()
+	var flat, sharded bytes.Buffer
+	if err := graph.WriteBinary(&flat, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteBinarySharded(&sharded, g, 16); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flat", func(b *testing.B) {
+		b.SetBytes(int64(flat.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadBinary(bytes.NewReader(flat.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(wLabel(w), func(b *testing.B) {
+			b.SetBytes(int64(sharded.Len()))
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadBinarySharded(bytes.NewReader(sharded.Bytes()), w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func wLabel(w int) string {
+	return "w=" + string(rune('0'+w))
+}

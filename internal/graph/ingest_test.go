@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// ingestWorkerCounts is the matrix the determinism tests sweep; 1 exercises
+// the serial fallback, 3 an uneven split, 8 the bench configuration.
+var ingestWorkerCounts = []int{1, 2, 3, 8}
+
+// graphsIdentical reports the first bit-level difference between two graphs,
+// or "" when they match exactly — offsets, targets, weights, and the
+// wdeg/m2/loops caches all compared bitwise.
+func graphsIdentical(a, b *Graph) string {
+	if a.NumVertices() != b.NumVertices() {
+		return fmt.Sprintf("n: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	for u := 0; u <= a.NumVertices(); u++ {
+		if a.offsets[u] != b.offsets[u] {
+			return fmt.Sprintf("offsets[%d]: %d vs %d", u, a.offsets[u], b.offsets[u])
+		}
+	}
+	for i := range a.targets {
+		if a.targets[i] != b.targets[i] {
+			return fmt.Sprintf("targets[%d]: %d vs %d", i, a.targets[i], b.targets[i])
+		}
+		if math.Float64bits(a.weights[i]) != math.Float64bits(b.weights[i]) {
+			return fmt.Sprintf("weights[%d]: %x vs %x", i, a.weights[i], b.weights[i])
+		}
+	}
+	for u := range a.wdeg {
+		if math.Float64bits(a.wdeg[u]) != math.Float64bits(b.wdeg[u]) {
+			return fmt.Sprintf("wdeg[%d]: %x vs %x", u, a.wdeg[u], b.wdeg[u])
+		}
+	}
+	if math.Float64bits(a.m2) != math.Float64bits(b.m2) {
+		return fmt.Sprintf("m2: %x vs %x", a.m2, b.m2)
+	}
+	if a.loops != b.loops {
+		return fmt.Sprintf("loops: %d vs %d", a.loops, b.loops)
+	}
+	return ""
+}
+
+// messyEdges produces a messy edge list: duplicates (to exercise the
+// combine pass on both endpoints), self-loops, zero weights (the w=0→1
+// convenience), and irregular float weights.
+func messyEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		e := Edge{U: rng.Intn(n), V: rng.Intn(n)}
+		switch rng.Intn(5) {
+		case 0: // duplicate an earlier edge so weights sum
+			if i > 0 {
+				e = edges[rng.Intn(i)]
+			}
+		case 1:
+			e.V = e.U // self-loop
+		}
+		switch rng.Intn(3) {
+		case 0:
+			e.W = 0
+		case 1:
+			e.W = rng.Float64() * 10
+		default:
+			e.W = 1
+		}
+		edges[i] = e
+	}
+	return edges
+}
+
+func TestFromEdgesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct{ n, m int }{{50, 2000}, {1000, 20000}, {4096, 60000}} {
+		edges := messyEdges(rng, tc.n, tc.m)
+		want, err := FromEdges(tc.n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ingestWorkerCounts {
+			got, err := FromEdgesParallel(tc.n, edges, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", tc.n, w, err)
+			}
+			if diff := graphsIdentical(want, got); diff != "" {
+				t.Fatalf("n=%d m=%d workers=%d: %s", tc.n, tc.m, w, diff)
+			}
+		}
+	}
+}
+
+func TestFromEdgesParallelBadEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges := messyEdges(rng, 100, 5000)
+	edges[1234].V = 100 // first out-of-range edge
+	edges[4000].U = -7  // later one must not win
+	_, serr := FromEdges(100, edges)
+	if serr == nil {
+		t.Fatal("serial: expected error")
+	}
+	for _, w := range ingestWorkerCounts {
+		_, perr := FromEdgesParallel(100, edges, w)
+		if perr == nil || perr.Error() != serr.Error() {
+			t.Fatalf("workers=%d: error %q, want %q", w, perr, serr)
+		}
+	}
+}
+
+// bigEdgeListText renders a text edge list large enough to engage the
+// chunked parser (> parseChunkMin) with comments and blank lines sprinkled
+// through it.
+func bigEdgeListText(rng *rand.Rand, n, m int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# vertices %d\n", n)
+	for i := 0; i < m; i++ {
+		if i%97 == 0 {
+			sb.WriteString("# a comment line\n\n")
+		}
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "%d %d\n", rng.Intn(n), rng.Intn(n))
+		case 1:
+			fmt.Fprintf(&sb, "%d\t%d  %g\n", rng.Intn(n), rng.Intn(n), rng.Float64()*4)
+		default:
+			fmt.Fprintf(&sb, "%d %d %d\n", rng.Intn(n), rng.Intn(n), 1+rng.Intn(9))
+		}
+	}
+	return sb.String()
+}
+
+func TestReadEdgeListParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	text := bigEdgeListText(rng, 3000, 40000)
+	if len(text) < parseChunkMin {
+		t.Fatalf("fixture too small to engage chunked parsing: %d bytes", len(text))
+	}
+	want, err := ReadEdgeList(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ingestWorkerCounts {
+		got, err := ReadEdgeListParallel(strings.NewReader(text), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if diff := graphsIdentical(want, got); diff != "" {
+			t.Fatalf("workers=%d: %s", w, diff)
+		}
+	}
+}
+
+func TestReadEdgeListParallelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := bigEdgeListText(rng, 500, 20000)
+	lines := strings.Split(base, "\n")
+	for name, mutate := range map[string]func([]string){
+		"early bad token":  func(ls []string) { ls[50] = "7 oops" },
+		"late bad token":   func(ls []string) { ls[len(ls)-10] = "nope 3" },
+		"two errors":       func(ls []string) { ls[len(ls)-10] = "x 1"; ls[40] = "0 1 w" },
+		"negative id":      func(ls []string) { ls[300] = "-4 2" },
+		"missing field":    func(ls []string) { ls[1000] = "42" },
+		"late declaration": func(ls []string) { ls[len(ls)-5] = "# vertices 9000" },
+	} {
+		ls := append([]string(nil), lines...)
+		mutate(ls)
+		text := strings.Join(ls, "\n")
+		want, serr := ReadEdgeList(strings.NewReader(text))
+		for _, w := range ingestWorkerCounts {
+			got, perr := ReadEdgeListParallel(strings.NewReader(text), w)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("%s workers=%d: serial err %v, parallel err %v", name, w, serr, perr)
+			}
+			if serr != nil {
+				if serr.Error() != perr.Error() {
+					t.Fatalf("%s workers=%d: error %q, want %q", name, w, perr, serr)
+				}
+				continue
+			}
+			if diff := graphsIdentical(want, got); diff != "" {
+				t.Fatalf("%s workers=%d: %s", name, w, diff)
+			}
+		}
+	}
+}
+
+func TestNumEdgesCached(t *testing.T) {
+	g, err := FromEdges(6, []Edge{{0, 1, 1}, {1, 1, 2}, {2, 3, 1}, {4, 4, 1}, {0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-1 combined counts once, two self-loops, 2-3: 4 edges, 2 of them loops.
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if g.loops != 2 {
+		t.Errorf("loops = %d, want 2", g.loops)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.NumEdges(); got != 4 {
+		t.Errorf("decoded NumEdges = %d, want 4", got)
+	}
+}

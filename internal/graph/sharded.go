@@ -1,0 +1,393 @@
+package graph
+
+// Sharded binary graph format. The flat WriteBinary format forces a reader
+// to buffer and decode the whole file on one goroutine; the sharded layout
+// prepends a fixed-width index so loaders can decode shards concurrently
+// and fetch only the byte ranges covering the vertices they need.
+//
+// Layout (little-endian):
+//
+//	u32 magic 0x477250A2
+//	u64 n, u64 arcs, u32 shards
+//	shards × { u64 vhi, u64 payloadLen, u64 arcCount }   — the index
+//	shards × payload
+//
+// Shard s covers vertices [vhi[s-1], vhi[s]) (vhi[-1] = 0); its payload is
+// exactly WriteBinary's per-vertex encoding for those vertices (uvarint
+// degree, then per arc a delta-coded varint target and a fixed f64 weight).
+// Shard boundaries are chosen to balance arcs, not vertices, so hub-heavy
+// shards do not serialize the parallel decode.
+//
+// Every index field is validated against the actual input size before any
+// payload-sized allocation: Σ payloadLen must equal the bytes present, Σ
+// arcCount must equal the header arc count, vhi must be monotone and end at
+// n, and each shard must satisfy payloadLen ≥ (vhi−vlo) + 9·arcCount (a
+// degree byte per vertex, ≥ 9 bytes per arc). Hostile headers therefore
+// fail in the index check instead of demanding huge buffers.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/wire"
+)
+
+const shardedMagic = uint32(0x477250A2) // "GrP" + sharded version 2
+
+// shardedHeaderLen is the fixed prefix: magic + n + arcs + shard count.
+const shardedHeaderLen = 4 + 8 + 8 + 4
+
+// shardIndexEntryLen is one index record: vhi + payloadLen + arcCount.
+const shardIndexEntryLen = 8 + 8 + 8
+
+// WriteBinarySharded writes g in the sharded binary format. Shard payloads
+// are encoded concurrently (the byte output is identical at every worker
+// count: each shard's encoding depends only on its own vertices, and shards
+// are concatenated in index order).
+func WriteBinarySharded(w io.Writer, g *Graph, shards int) error {
+	n := g.NumVertices()
+	arcs := g.NumArcs()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	// Boundaries balance arcs across shards: shard s ends at the first
+	// vertex whose arc offset reaches s·arcs/shards.
+	vhi := make([]int, shards)
+	for s := 0; s < shards-1; s++ {
+		target := int64(s+1) * arcs / int64(shards)
+		vhi[s] = sort.Search(n, func(v int) bool { return g.offsets[v] >= target })
+	}
+	if shards > 0 {
+		vhi[shards-1] = n
+	}
+
+	bufs := make([]*wire.Buffer, shards)
+	pool := par.NewPool(par.DefaultWorkers(1))
+	defer pool.Close()
+	pool.ParFor(shards, func(s, _ int) {
+		lo := 0
+		if s > 0 {
+			lo = vhi[s-1]
+		}
+		hi := vhi[s]
+		buf := wire.NewBuffer(int(g.offsets[hi]-g.offsets[lo])*10 + (hi - lo))
+		for u := lo; u < hi; u++ {
+			alo, ahi := g.offsets[u], g.offsets[u+1]
+			buf.PutUvarint(uint64(ahi - alo))
+			prev := int64(0)
+			for a := alo; a < ahi; a++ {
+				t := int64(g.targets[a])
+				buf.PutVarint(t - prev)
+				prev = t
+				buf.PutF64(g.weights[a])
+			}
+		}
+		bufs[s] = buf
+	})
+
+	hdr := wire.NewBuffer(shardedHeaderLen + shards*shardIndexEntryLen)
+	hdr.PutU32(shardedMagic)
+	hdr.PutU64(uint64(n))
+	hdr.PutU64(uint64(arcs))
+	hdr.PutU32(uint32(shards))
+	for s := 0; s < shards; s++ {
+		lo := 0
+		if s > 0 {
+			lo = vhi[s-1]
+		}
+		hdr.PutU64(uint64(vhi[s]))
+		hdr.PutU64(uint64(bufs[s].Len()))
+		hdr.PutU64(uint64(g.offsets[vhi[s]] - g.offsets[lo]))
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	for s := 0; s < shards; s++ {
+		if _, err := w.Write(bufs[s].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sharded is an opened sharded graph: the validated index plus the source
+// reader. Payloads are fetched on demand by ReadAll / ReadVertexRange.
+type Sharded struct {
+	r          io.ReaderAt
+	n          int
+	arcs       int64
+	vhi        []int   // shard s covers vertices [vhi[s-1], vhi[s])
+	payloadOff []int64 // absolute byte offset of shard s's payload
+	payloadLen []int64
+	arcCount   []int64
+	arcStart   []int64 // exclusive prefix sum of arcCount
+}
+
+// OpenSharded reads and validates the header and index of a sharded graph
+// of the given total size. No payload bytes are touched.
+func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
+	if size < shardedHeaderLen {
+		return nil, fmt.Errorf("graph: sharded: input %d bytes, need %d for header", size, shardedHeaderLen)
+	}
+	hb := make([]byte, shardedHeaderLen)
+	if _, err := r.ReadAt(hb, 0); err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(hb)
+	if m := rd.U32(); m != shardedMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x (want %#x)", m, shardedMagic)
+	}
+	n := int(rd.U64())
+	arcs := int64(rd.U64())
+	shards := int(rd.U32())
+	if n < 0 || arcs < 0 || shards < 1 {
+		return nil, fmt.Errorf("graph: sharded: corrupt header (n=%d arcs=%d shards=%d)", n, arcs, shards)
+	}
+	indexLen := int64(shards) * shardIndexEntryLen
+	payloadTotal := size - shardedHeaderLen - indexLen
+	if payloadTotal < 0 {
+		return nil, fmt.Errorf("graph: sharded: %d shards need %d index bytes, input has %d", shards, indexLen, size-shardedHeaderLen)
+	}
+	if int64(n) > payloadTotal || arcs > payloadTotal/9 {
+		return nil, fmt.Errorf("graph: sharded: corrupt header (n=%d arcs=%d for %d payload bytes)", n, arcs, payloadTotal)
+	}
+	ib := make([]byte, indexLen)
+	if _, err := r.ReadAt(ib, shardedHeaderLen); err != nil {
+		return nil, err
+	}
+	rd.Reset(ib)
+	s := &Sharded{
+		r:          r,
+		n:          n,
+		arcs:       arcs,
+		vhi:        make([]int, shards),
+		payloadOff: make([]int64, shards),
+		payloadLen: make([]int64, shards),
+		arcCount:   make([]int64, shards),
+		arcStart:   make([]int64, shards+1),
+	}
+	off := shardedHeaderLen + indexLen
+	prevHi := 0
+	var sumLen, sumArcs int64
+	for i := 0; i < shards; i++ {
+		hi := int(rd.U64())
+		plen := int64(rd.U64())
+		acnt := int64(rd.U64())
+		if hi < prevHi || hi > n {
+			return nil, fmt.Errorf("graph: sharded: shard %d vertex bound %d not monotone in [0,%d]", i, hi, n)
+		}
+		// Bounding each entry (not just the final sums) keeps a hostile
+		// index from overflowing the running totals into plausible values
+		// and reaching a payload-sized allocation.
+		if plen < 0 || plen > payloadTotal || acnt < 0 || acnt > arcs {
+			return nil, fmt.Errorf("graph: sharded: shard %d index (%d bytes, %d arcs) exceeds input (%d bytes, %d arcs)", i, plen, acnt, payloadTotal, arcs)
+		}
+		if plen < int64(hi-prevHi)+9*acnt {
+			return nil, fmt.Errorf("graph: sharded: shard %d index (%d vertices, %d arcs) impossible in %d bytes", i, hi-prevHi, acnt, plen)
+		}
+		s.vhi[i] = hi
+		s.payloadOff[i] = off
+		s.payloadLen[i] = plen
+		s.arcCount[i] = acnt
+		s.arcStart[i+1] = s.arcStart[i] + acnt
+		off += plen
+		prevHi = hi
+		sumLen += plen
+		sumArcs += acnt
+	}
+	if prevHi != n {
+		return nil, fmt.Errorf("graph: sharded: shards cover %d of %d vertices", prevHi, n)
+	}
+	if sumLen != payloadTotal {
+		return nil, fmt.Errorf("graph: sharded: index claims %d payload bytes, input has %d", sumLen, payloadTotal)
+	}
+	if sumArcs != arcs {
+		return nil, fmt.Errorf("graph: sharded: arc count mismatch: header %d, index %d", arcs, sumArcs)
+	}
+	return s, nil
+}
+
+// NumVertices returns the vertex count recorded in the header.
+func (s *Sharded) NumVertices() int { return s.n }
+
+// NumArcs returns the arc count recorded in the header.
+func (s *Sharded) NumArcs() int64 { return s.arcs }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.vhi) }
+
+// ShardRange returns the vertex range [lo, hi) of shard i.
+func (s *Sharded) ShardRange(i int) (lo, hi int) {
+	if i > 0 {
+		lo = s.vhi[i-1]
+	}
+	return lo, s.vhi[i]
+}
+
+// ReadAll decodes the whole graph, fetching and decoding shards on up to
+// workers goroutines (0 = host-sized). The index pins every shard's arc
+// range, so shards decode straight into the final CSR arrays — no
+// per-shard intermediate graphs and no whole-file double buffer.
+func (s *Sharded) ReadAll(workers int) (*Graph, error) {
+	pool := par.NewPool(resolveWorkers(workers))
+	defer pool.Close()
+	offsets := make([]int64, s.n+1)
+	targets := make([]int32, s.arcs)
+	weights := make([]float64, s.arcs)
+	shards := s.NumShards()
+	errs := make([]error, shards)
+	pool.ParFor(shards, func(i, _ int) {
+		data := make([]byte, s.payloadLen[i])
+		if _, err := s.r.ReadAt(data, s.payloadOff[i]); err != nil {
+			errs[i] = err
+			return
+		}
+		lo, hi := s.ShardRange(i)
+		errs[i] = s.decodeShard(i, data, lo, hi, offsets[lo:], s.arcStart[i], targets, weights)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fromSortedCSR(offsets, targets, weights), nil
+}
+
+// decodeShard decodes shard i's payload for vertices [lo, hi) into the CSR
+// arrays. offs[u-lo+1] receives the running arc cursor, which starts at
+// base; targets/weights are written at the cursor's absolute positions.
+func (s *Sharded) decodeShard(i int, data []byte, lo, hi int, offs []int64, base int64, targets []int32, weights []float64) error {
+	rd := wire.NewReader(data)
+	cur := base
+	maxArc := base + s.arcCount[i]
+	for u := lo; u < hi; u++ {
+		d := int(rd.Uvarint())
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
+		}
+		if d < 0 || cur+int64(d) > maxArc {
+			return fmt.Errorf("graph: sharded: shard %d: degree %d at vertex %d exceeds indexed arc count %d", i, d, u, s.arcCount[i])
+		}
+		prev := int64(0)
+		for k := 0; k < d; k++ {
+			t := prev + rd.Varint()
+			if t < 0 || t >= int64(s.n) || (k > 0 && t <= prev) {
+				if err := rd.Err(); err != nil {
+					return fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
+				}
+				return fmt.Errorf("graph: sharded: vertex %d: target %d out of order or range [0,%d)", u, t, s.n)
+			}
+			prev = t
+			targets[cur] = int32(t)
+			weights[cur] = rd.F64()
+			cur++
+		}
+		offs[u-lo+1] = cur
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("graph: sharded: shard %d: %v", i, err)
+	}
+	if cur != maxArc {
+		return fmt.Errorf("graph: sharded: shard %d arc count mismatch: index %d, body %d", i, s.arcCount[i], cur-base)
+	}
+	if rd.Remaining() != 0 {
+		return fmt.Errorf("graph: sharded: shard %d has %d trailing payload bytes", i, rd.Remaining())
+	}
+	return nil
+}
+
+// ReadVertexRange decodes only the shards covering vertices [lo, hi) and
+// returns that range's CSR slice: offsets is rebased (len hi-lo+1 with
+// offsets[0] = 0), targets/weights hold just the range's arcs. Only the
+// covering shards' byte ranges are fetched.
+func (s *Sharded) ReadVertexRange(lo, hi int) ([]int64, []int32, []float64, error) {
+	if lo < 0 || hi < lo || hi > s.n {
+		return nil, nil, nil, fmt.Errorf("graph: sharded: vertex range [%d,%d) outside [0,%d]", lo, hi, s.n)
+	}
+	offsets := make([]int64, hi-lo+1)
+	if lo == hi {
+		return offsets, nil, nil, nil
+	}
+	// First and last shard overlapping the range.
+	s0 := sort.Search(s.NumShards(), func(i int) bool { return s.vhi[i] > lo })
+	s1 := sort.Search(s.NumShards(), func(i int) bool { return s.vhi[i] >= hi })
+	var capArcs int64
+	for i := s0; i <= s1; i++ {
+		capArcs += s.arcCount[i]
+	}
+	targets := make([]int32, 0, capArcs)
+	weights := make([]float64, 0, capArcs)
+	for i := s0; i <= s1; i++ {
+		data := make([]byte, s.payloadLen[i])
+		if _, err := s.r.ReadAt(data, s.payloadOff[i]); err != nil {
+			return nil, nil, nil, err
+		}
+		slo, shi := s.ShardRange(i)
+		rd := wire.NewReader(data)
+		var seen int64
+		for u := slo; u < shi; u++ {
+			d := int(rd.Uvarint())
+			if err := rd.Err(); err != nil {
+				return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
+			}
+			if d < 0 || seen+int64(d) > s.arcCount[i] {
+				return nil, nil, nil, fmt.Errorf("graph: sharded: shard %d: degree %d at vertex %d exceeds indexed arc count %d", i, d, u, s.arcCount[i])
+			}
+			seen += int64(d)
+			keep := u >= lo && u < hi
+			prev := int64(0)
+			for k := 0; k < d; k++ {
+				t := prev + rd.Varint()
+				if t < 0 || t >= int64(s.n) || (k > 0 && t <= prev) {
+					if err := rd.Err(); err != nil {
+						return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
+					}
+					return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: target %d out of order or range [0,%d)", u, t, s.n)
+				}
+				prev = t
+				w := rd.F64()
+				if keep {
+					targets = append(targets, int32(t))
+					weights = append(weights, w)
+				}
+			}
+			if keep {
+				offsets[u-lo+1] = int64(len(targets))
+			}
+		}
+		if err := rd.Err(); err != nil {
+			return nil, nil, nil, fmt.Errorf("graph: sharded: shard %d: %v", i, err)
+		}
+	}
+	return offsets, targets, weights, nil
+}
+
+// ReadBinarySharded reads a whole sharded graph from a stream. Inputs that
+// support ReadAt and can report a size (files, bytes.Readers) are opened in
+// place; anything else is buffered once.
+func ReadBinarySharded(r io.Reader, workers int) (*Graph, error) {
+	if ra, ok := r.(io.ReaderAt); ok {
+		if size, sized := inputSize(r); sized {
+			s, err := OpenSharded(ra, size)
+			if err != nil {
+				return nil, err
+			}
+			return s.ReadAll(workers)
+		}
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := OpenSharded(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	return s.ReadAll(workers)
+}

@@ -24,3 +24,23 @@ func BenchmarkBuild(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPartitionBuild is the PR-5 trajectory benchmark: delegate
+// partitioning of a scale-14 R-MAT at p=16 across worker counts, against
+// the committed serial seed baseline in scripts/bench_seed_pr5.json
+// (acceptance: >= 2x at 8 workers, workers=1 within 10% of serial).
+func BenchmarkPartitionBuild(b *testing.B) {
+	g, err := gen.RMAT(gen.Graph500RMAT(14, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(g, Options{P: 16, Kind: Delegate, DHigh: 64, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Kind selects the partitioning strategy.
@@ -103,6 +104,13 @@ type Options struct {
 	P     int  // number of ranks, >= 1
 	Kind  Kind // OneD or Delegate
 	DHigh int  // hub degree threshold; <= 0 means DHigh = P (the paper's setting)
+
+	// Workers bounds Build's intra-process parallelism: 0 picks a
+	// host-sized count, 1 runs the historical serial path. Every worker
+	// count produces a bit-identical Layout (chunk boundaries are a pure
+	// function of the data size and partial results combine in chunk
+	// order; see internal/par).
+	Workers int
 }
 
 // Layout is a full partitioning of a graph: one Subgraph per rank plus the
@@ -118,7 +126,19 @@ type Layout struct {
 // Owner returns the owning rank of a low-degree (non-hub) vertex.
 func Owner(v, p int) int { return v % p }
 
-// Build partitions g across opt.P ranks.
+// hubArc is one arc of a hub vertex awaiting placement.
+type hubArc struct {
+	hub int // index into hubs
+	to  int
+	w   float64
+}
+
+// Build partitions g across opt.P ranks. The heavy phases — hub
+// identification, the owned-vertex adjacency copy, hub-arc bucketing, and
+// ghost discovery — run on an internal/par worker pool when opt.Workers
+// permits; the spill-pool placement and rebalance correction are inherently
+// sequential greedy passes and stay serial. The Layout is bit-identical at
+// every worker count.
 func Build(g *graph.Graph, opt Options) (*Layout, error) {
 	if opt.P < 1 {
 		return nil, fmt.Errorf("partition: P = %d, want >= 1", opt.P)
@@ -129,25 +149,54 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 	}
 	p := opt.P
 	n := g.NumVertices()
+	nw := opt.Workers
+	if nw == 0 {
+		nw = par.DefaultWorkers(1)
+	}
+	pool := par.NewPool(nw)
+	defer pool.Close()
 
-	// Identify hubs.
+	// Identify hubs: per-chunk lists concatenate in chunk order, so the hub
+	// directory is ascending exactly as the serial scan produces it.
 	isHub := make([]bool, n)
 	var hubs []int
 	if opt.Kind == Delegate {
-		for u := 0; u < n; u++ {
-			if g.Degree(u) >= dhigh {
-				isHub[u] = true
-				hubs = append(hubs, u)
+		if pool == nil {
+			for u := 0; u < n; u++ {
+				if g.Degree(u) >= dhigh {
+					isHub[u] = true
+					hubs = append(hubs, u)
+				}
+			}
+		} else {
+			ncV := par.NumChunks(n)
+			frag := make([][]int, ncV)
+			pool.ParFor(ncV, func(c, _ int) {
+				lo, hi := par.ChunkSpan(n, ncV, c)
+				var hs []int
+				for u := lo; u < hi; u++ {
+					if g.Degree(u) >= dhigh {
+						isHub[u] = true
+						hs = append(hs, u)
+					}
+				}
+				frag[c] = hs
+			})
+			total := 0
+			for _, f := range frag {
+				total += len(f)
+			}
+			if total > 0 {
+				hubs = make([]int, 0, total)
+				for _, f := range frag {
+					hubs = append(hubs, f...)
+				}
 			}
 		}
 	}
-	hubIndex := make(map[int]int, len(hubs))
-	for i, h := range hubs {
-		hubIndex[h] = i
-	}
 
 	parts := make([]*Subgraph, p)
-	for r := 0; r < p; r++ {
+	pool.ParFor(p, func(r, _ int) {
 		parts[r] = &Subgraph{
 			Rank: r, P: p,
 			GlobalVertices: n,
@@ -161,56 +210,22 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 				parts[r].HubWDeg[i] = g.WeightedDegree(h)
 			}
 		}
-	}
+	})
 
-	// Assign owned low vertices (round-robin) with their full adjacency.
-	for u := 0; u < n; u++ {
-		if isHub[u] {
-			continue
-		}
-		r := Owner(u, p)
-		sp := parts[r]
-		sp.Owned = append(sp.Owned, u)
-		sp.OwnedWDeg = append(sp.OwnedWDeg, g.WeightedDegree(u))
-		ts, ws := g.Neighbors(u)
-		adj := make([]Arc, len(ts))
-		for i := range ts {
-			adj[i] = Arc{To: int(ts[i]), W: ws[i]}
-		}
-		sp.AdjOwned = append(sp.AdjOwned, adj)
-	}
+	assignOwned(g, parts, isHub, pool)
 
 	// Assign hub arcs. Initially each hub arc (h, v) goes to the owner of
 	// its target (co-locating delegate and target); hub→hub arcs go to a
 	// spill pool for balancing; then a correction pass moves hub arcs from
 	// overloaded to underloaded ranks.
 	if opt.Kind == Delegate && len(hubs) > 0 {
+		spill := bucketHubArcs(g, parts, hubs, isHub, pool)
 		loads := make([]int64, p)
 		for r := 0; r < p; r++ {
 			loads[r] = parts[r].NumLocalArcs()
 		}
-		type hubArc struct {
-			hub int // index into hubs
-			to  int
-			w   float64
-		}
-		var pool []hubArc // arcs free to place anywhere (hub→hub)
-		for _, h := range hubs {
-			hi := hubIndex[h]
-			ts, ws := g.Neighbors(h)
-			for i := range ts {
-				v := int(ts[i])
-				if isHub[v] {
-					pool = append(pool, hubArc{hub: hi, to: v, w: ws[i]})
-					continue
-				}
-				r := Owner(v, p)
-				parts[r].AdjHub[hi] = append(parts[r].AdjHub[hi], Arc{To: v, W: ws[i]})
-				loads[r]++
-			}
-		}
-		// Place pool arcs on the currently least-loaded ranks.
-		for _, a := range pool {
+		// Place spill-pool arcs on the currently least-loaded ranks.
+		for _, a := range spill {
 			r := minLoadRank(loads)
 			parts[r].AdjHub[a.hub] = append(parts[r].AdjHub[a.hub], Arc{To: a.to, W: a.w})
 			loads[r]++
@@ -220,8 +235,10 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 		rebalance(parts, loads)
 	}
 
-	// Ghost discovery and subscriber lists from the final arc placement.
-	for r := 0; r < p; r++ {
+	// Ghost discovery from the final arc placement: each rank touches only
+	// its own part, and the ghost list is sorted, so per-rank kernels are
+	// independent and deterministic.
+	pool.ParFor(p, func(r, _ int) {
 		sp := parts[r]
 		ghostSet := make(map[int]struct{})
 		note := func(v int) {
@@ -245,11 +262,17 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 			sp.Ghosts = append(sp.Ghosts, v)
 		}
 		sort.Ints(sp.Ghosts)
-		for _, v := range sp.Ghosts {
+		sp.TotalWeight2 = g.TotalWeight2()
+	})
+
+	// Subscriber lists cross rank boundaries (a ghost on rank r subscribes
+	// r to the ghost's owner), so they are built serially from the sorted
+	// ghost lists; the final sort makes the content order-independent.
+	for r := 0; r < p; r++ {
+		for _, v := range parts[r].Ghosts {
 			owner := parts[Owner(v, p)]
 			owner.Subscribers[v] = append(owner.Subscribers[v], r)
 		}
-		sp.TotalWeight2 = g.TotalWeight2()
 	}
 	for r := 0; r < p; r++ {
 		for v := range parts[r].Subscribers {
@@ -258,6 +281,136 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 	}
 
 	return &Layout{P: p, Kind: opt.Kind, DHigh: dhigh, Hubs: hubs, Parts: parts}, nil
+}
+
+// assignOwned distributes low-degree vertices (round-robin) with their full
+// adjacency. The parallel path collects per-(chunk, rank) fragments and
+// concatenates them per rank in chunk order — the serial append order.
+func assignOwned(g *graph.Graph, parts []*Subgraph, isHub []bool, pool *par.Pool) {
+	n := g.NumVertices()
+	p := len(parts)
+	if pool == nil {
+		for u := 0; u < n; u++ {
+			if isHub[u] {
+				continue
+			}
+			r := Owner(u, p)
+			sp := parts[r]
+			sp.Owned = append(sp.Owned, u)
+			sp.OwnedWDeg = append(sp.OwnedWDeg, g.WeightedDegree(u))
+			ts, ws := g.Neighbors(u)
+			adj := make([]Arc, len(ts))
+			for i := range ts {
+				adj[i] = Arc{To: int(ts[i]), W: ws[i]}
+			}
+			sp.AdjOwned = append(sp.AdjOwned, adj)
+		}
+		return
+	}
+	type ownedFrag struct {
+		ids  []int
+		wdeg []float64
+		adj  [][]Arc
+	}
+	ncV := par.NumChunks(n)
+	frags := make([]ownedFrag, ncV*p)
+	pool.ParFor(ncV, func(c, _ int) {
+		lo, hi := par.ChunkSpan(n, ncV, c)
+		fr := frags[c*p : (c+1)*p]
+		for u := lo; u < hi; u++ {
+			if isHub[u] {
+				continue
+			}
+			f := &fr[Owner(u, p)]
+			f.ids = append(f.ids, u)
+			f.wdeg = append(f.wdeg, g.WeightedDegree(u))
+			ts, ws := g.Neighbors(u)
+			adj := make([]Arc, len(ts))
+			for i := range ts {
+				adj[i] = Arc{To: int(ts[i]), W: ws[i]}
+			}
+			f.adj = append(f.adj, adj)
+		}
+	})
+	pool.ParFor(p, func(r, _ int) {
+		sp := parts[r]
+		total := 0
+		for c := 0; c < ncV; c++ {
+			total += len(frags[c*p+r].ids)
+		}
+		if total == 0 {
+			return
+		}
+		sp.Owned = make([]int, 0, total)
+		sp.OwnedWDeg = make([]float64, 0, total)
+		sp.AdjOwned = make([][]Arc, 0, total)
+		for c := 0; c < ncV; c++ {
+			f := &frags[c*p+r]
+			sp.Owned = append(sp.Owned, f.ids...)
+			sp.OwnedWDeg = append(sp.OwnedWDeg, f.wdeg...)
+			sp.AdjOwned = append(sp.AdjOwned, f.adj...)
+		}
+	})
+}
+
+// bucketHubArcs routes each hub arc to its target's owner and returns the
+// hub→hub spill pool. The parallel path chunks over the hub directory
+// (every hub lives in exactly one chunk) and concatenates per-rank
+// fragments in chunk order, reproducing the serial (hub, arc) append order
+// on every rank and the serial spill order.
+func bucketHubArcs(g *graph.Graph, parts []*Subgraph, hubs []int, isHub []bool, pool *par.Pool) []hubArc {
+	p := len(parts)
+	if pool == nil {
+		var spill []hubArc
+		for hi, h := range hubs {
+			ts, ws := g.Neighbors(h)
+			for i := range ts {
+				v := int(ts[i])
+				if isHub[v] {
+					spill = append(spill, hubArc{hub: hi, to: v, w: ws[i]})
+					continue
+				}
+				r := Owner(v, p)
+				parts[r].AdjHub[hi] = append(parts[r].AdjHub[hi], Arc{To: v, W: ws[i]})
+			}
+		}
+		return spill
+	}
+	nh := len(hubs)
+	ncH := par.NumChunks(nh)
+	rankFrag := make([][]hubArc, ncH*p)
+	spillFrag := make([][]hubArc, ncH)
+	pool.ParFor(ncH, func(c, _ int) {
+		lo, hi := par.ChunkSpan(nh, ncH, c)
+		rf := rankFrag[c*p : (c+1)*p]
+		var sf []hubArc
+		for hidx := lo; hidx < hi; hidx++ {
+			ts, ws := g.Neighbors(hubs[hidx])
+			for i := range ts {
+				v := int(ts[i])
+				if isHub[v] {
+					sf = append(sf, hubArc{hub: hidx, to: v, w: ws[i]})
+					continue
+				}
+				r := Owner(v, p)
+				rf[r] = append(rf[r], hubArc{hub: hidx, to: v, w: ws[i]})
+			}
+		}
+		spillFrag[c] = sf
+	})
+	pool.ParFor(p, func(r, _ int) {
+		sp := parts[r]
+		for c := 0; c < ncH; c++ {
+			for _, a := range rankFrag[c*p+r] {
+				sp.AdjHub[a.hub] = append(sp.AdjHub[a.hub], Arc{To: a.to, W: a.w})
+			}
+		}
+	})
+	var spill []hubArc
+	for c := 0; c < ncH; c++ {
+		spill = append(spill, spillFrag[c]...)
+	}
+	return spill
 }
 
 func minLoadRank(loads []int64) int {

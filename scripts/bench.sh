@@ -5,17 +5,18 @@
 # committed pre-change seed numbers. CI-runnable; override the iteration
 # counts for a quick smoke:
 #
-#   scripts/bench.sh                         # full run, writes BENCH_4.json
+#   scripts/bench.sh                         # full run, writes BENCH_5.json
 #   KERNEL_TIME=5x MACRO_TIME=1x COMM_TIME=10x scripts/bench.sh OUT=/dev/null
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-4}"
+PR="${PR:-5}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
 MACRO_TIME="${MACRO_TIME:-3x}"
 COMM_TIME="${COMM_TIME:-100x}"
+INGEST_TIME="${INGEST_TIME:-5x}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -28,6 +29,12 @@ echo "== collective engine benchmarks (-benchtime $COMM_TIME) ==" >&2
 go test -run '^$' \
     -bench '^(BenchmarkAlltoallvSeq|BenchmarkAlltoallvOverlap|BenchmarkAllreduceRingPipelined)$' \
     -benchtime "$COMM_TIME" -benchmem ./internal/comm/ | tee -a "$raw" >&2
+
+echo "== ingest & partition benchmarks (-benchtime $INGEST_TIME) ==" >&2
+go test -run '^$' -bench '^(BenchmarkIngestEdgeList|BenchmarkIngestSharded)$' \
+    -benchtime "$INGEST_TIME" -benchmem ./internal/graph/ | tee -a "$raw" >&2
+go test -run '^$' -bench '^BenchmarkPartitionBuild$' \
+    -benchtime "$INGEST_TIME" -benchmem ./internal/partition/ | tee -a "$raw" >&2
 
 echo "== macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 go test -run '^$' -bench '^(BenchmarkDistributedLouvain|BenchmarkFig8Breakdown)$' \

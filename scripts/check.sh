@@ -28,6 +28,13 @@ echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
 go test -run 'TestConformance|TestChaosMatrix' -short -count 1 ./internal/comm
 
 echo "== fuzz smoke (5s per target) =="
+# The loop below auto-discovers targets, but the sharded graph format is a
+# hard requirement of the ingest pipeline (PR 5): fail loudly if its fuzz
+# harness ever disappears rather than silently skipping it.
+# (plain grep, not -q: -q exits at first match and the closed pipe would
+# fail the go-test side under pipefail)
+go test -list '^FuzzReadBinarySharded$' ./internal/graph | grep '^FuzzReadBinarySharded$' > /dev/null \
+    || { echo "error: FuzzReadBinarySharded missing from internal/graph" >&2; exit 1; }
 for pkg in ./internal/wire ./internal/graph ./internal/comm; do
     for tgt in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
         echo "-- fuzz $pkg $tgt"
