@@ -7,51 +7,75 @@
 //
 //	go run ./cmd/lint ./...           # whole module
 //	go run ./cmd/lint ./internal/comm ./cmd/worker
+//	go run ./cmd/lint -json ./...     # one JSON object per finding
 //	go run ./cmd/lint -doc            # describe the analyzers
 //
 // Exit status: 0 clean, 1 findings, 2 operational error. Findings are
-// printed one per line as file:line:col: [analyzer] message; a finding can
-// be waived in source with `//lint:ignore <analyzer> <reason>` on or above
-// the offending line (see docs/STATIC_ANALYSIS.md).
+// printed one per line as file:line:col: [analyzer] message, or as JSON
+// objects {"file","line","col","analyzer","message"} under -json (for
+// editor and CI integration); a finding can be waived in source with
+// `//lint:ignore <analyzer> <reason>` on or above the offending line (see
+// docs/STATIC_ANALYSIS.md). A waiver that no longer waives anything is
+// itself a finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 )
 
-func main() {
-	doc := flag.Bool("doc", false, "print the analyzer catalogue and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-doc] [package-dir|./...]...\n")
-		flag.PrintDefaults()
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// run is the testable body of the command: args are the raw command-line
+// arguments (flags included, program name excluded), output goes to the
+// given writers, and the return value is the process exit code — 0 clean,
+// 1 findings, 2 operational error (bad flag, unloadable package).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doc := fs.Bool("doc", false, "print the analyzer catalogue and exit")
+	asJSON := fs.Bool("json", false, "emit findings as JSON objects, one per line")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lint [-doc] [-json] [package-dir|./...]...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *doc {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return operr(stderr, err)
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		return operr(stderr, err)
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		return operr(stderr, err)
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -61,29 +85,50 @@ func main() {
 		case "./...", "...", "all":
 			all, err := loader.LoadAll()
 			if err != nil {
-				fatal(err)
+				return operr(stderr, err)
 			}
 			pkgs = append(pkgs, all...)
 		default:
 			pkg, err := loader.LoadDir(pat)
 			if err != nil {
-				fatal(err)
+				return operr(stderr, err)
 			}
 			pkgs = append(pkgs, pkg)
 		}
 	}
 
 	findings := analysis.Run(pkgs, analysis.All())
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				return operr(stderr, err)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lint:", err)
-	os.Exit(2)
+// operr reports an operational error and returns the exit code for it.
+func operr(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "lint:", err)
+	return 2
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

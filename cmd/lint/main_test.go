@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// badFixture is a package that carries known findings (the noprint
+// negative fixture of the analysis package).
+var badFixture = filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "badprint")
+
+// TestExitCodes pins the command's contract: 0 clean, 1 findings, 2
+// operational error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"."}, 0},
+		{"findings", []string{badFixture}, 1},
+		{"load-error", []string{filepath.Join("testdata", "no-such-dir")}, 2},
+		{"bad-flag", []string{"-no-such-flag"}, 2},
+		{"doc", []string{"-doc"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput checks that -json emits one parseable object per finding,
+// with the fields CI consumers key on, and that the same invocation still
+// exits 1.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", badFixture}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run -json on fixture = %d, want 1\nstderr: %s", got, stderr.String())
+	}
+	n := 0
+	sc := bufio.NewScanner(bytes.NewReader(stdout.Bytes()))
+	for sc.Scan() {
+		var f struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("line %d is not a JSON finding: %v\n%s", n+1, err, sc.Text())
+		}
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding %d missing fields: %+v", n+1, f)
+		}
+		if !strings.HasSuffix(filepath.Base(f.File), ".go") {
+			t.Errorf("finding %d file is not a Go file: %q", n+1, f.File)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no JSON findings emitted for a fixture with known violations")
+	}
+}
+
+// TestCleanProducesNoOutput checks the quiet-on-success contract scripts
+// rely on.
+func TestCleanProducesNoOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"."}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run on clean package = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %s", stdout.String())
+	}
+}

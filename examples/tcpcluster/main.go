@@ -61,6 +61,7 @@ func main() {
 			}
 			mu.Lock()
 			results[r] = res
+			//lint:ignore parforshare mutex-guarded commutative integer sum in the example driver; order cannot reach the output
 			totalBytes += ep.Stats().Snapshot().BytesSent
 			mu.Unlock()
 		}(r)

@@ -79,7 +79,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the PR 1
+// syntactic checks first, then the dataflow-level determinism and
+// allocation analyzers built on dataflow.go.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerCollectiveSym,
@@ -87,12 +89,23 @@ func All() []*Analyzer {
 		AnalyzerCommErr,
 		AnalyzerRecvAlias,
 		AnalyzerNoPrint,
+		AnalyzerMapOrder,
+		AnalyzerParForShare,
+		AnalyzerNonDet,
+		AnalyzerNoAlloc,
 	}
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// findings (suppressed ones removed) sorted by position.
+// findings (suppressed ones removed) sorted by position. Suppressions are
+// accounted for: a //lint:ignore that waived nothing — its analyzer ran and
+// produced no finding on the covered lines — is itself reported as stale,
+// so waivers cannot outlive the code they excused.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
@@ -116,6 +129,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			out = append(out, f)
 		}
 		out = append(out, sup.malformed...)
+		out = append(out, sup.stale(enabled)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -133,28 +147,53 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-// suppressions maps (file, line) to the analyzer names waived there. A
-// //lint:ignore comment waives findings on its own line and on the line
-// immediately below it (the usual "comment above the statement" placement).
+// parseIgnoreDirective parses one comment as a //lint:ignore suppression.
+// directive reports whether the comment is a lint:ignore at all; when it
+// is, analyzer and reason carry its two mandatory fields and ok reports
+// both were present. Fuzzed by FuzzIgnoreDirective.
+func parseIgnoreDirective(text string) (analyzer, reason string, directive, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lint:ignore") {
+		return "", "", false, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+	if len(fields) < 2 {
+		return "", "", true, false
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, true
+}
+
+// suppRecord is one well-formed //lint:ignore comment. used is set when a
+// finding of the named analyzer lands on a covered line; a record that ends
+// a run unused is a stale suppression.
+type suppRecord struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// suppressions maps (file, line) to the suppression records covering that
+// line. A //lint:ignore comment waives findings on its own line and on the
+// line immediately below it (the usual "comment above the statement"
+// placement).
 type suppressions struct {
-	byLine    map[string]map[int]map[string]bool
+	byLine    map[string]map[int][]*suppRecord
+	records   []*suppRecord
 	malformed []Finding
 }
 
 func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{byLine: make(map[string]map[int][]*suppRecord)}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:ignore") {
+				analyzer, _, directive, ok := parseIgnoreDirective(c.Text)
+				if !directive {
 					continue
 				}
-				rest := strings.TrimPrefix(text, "lint:ignore")
-				fields := strings.Fields(rest)
 				pos := pkg.Fset.Position(c.Pos())
-				if len(fields) < 2 {
+				if !ok {
 					s.malformed = append(s.malformed, Finding{
 						Pos:      pos,
 						Analyzer: "lint",
@@ -162,16 +201,15 @@ func collectSuppressions(pkg *Package) *suppressions {
 					})
 					continue
 				}
+				rec := &suppRecord{pos: pos, analyzer: analyzer}
+				s.records = append(s.records, rec)
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*suppRecord)
 					s.byLine[pos.Filename] = lines
 				}
 				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					if lines[ln] == nil {
-						lines[ln] = make(map[string]bool)
-					}
-					lines[ln][fields[0]] = true
+					lines[ln] = append(lines[ln], rec)
 				}
 			}
 		}
@@ -180,11 +218,48 @@ func collectSuppressions(pkg *Package) *suppressions {
 }
 
 func (s *suppressions) matches(f Finding) bool {
-	lines := s.byLine[f.Pos.Filename]
-	if lines == nil {
-		return false
+	for _, rec := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if rec.analyzer == f.Analyzer {
+			rec.used = true
+			return true
+		}
 	}
-	return lines[f.Pos.Line][f.Analyzer]
+	return false
+}
+
+// stale reports the suppressions that waived nothing: the named analyzer
+// was enabled this run (or does not exist at all) and produced no finding
+// on the covered lines. Stale waivers are findings so they get cleaned up
+// when the code they excused changes — an unused ignore otherwise silently
+// masks the next real violation on that line. Enabled is the set of
+// analyzer names that actually ran; suppressions for known-but-disabled
+// analyzers are left alone (a partial run proves nothing about them).
+func (s *suppressions) stale(enabled map[string]bool) []Finding {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, rec := range s.records {
+		if rec.used {
+			continue
+		}
+		switch {
+		case !known[rec.analyzer]:
+			out = append(out, Finding{
+				Pos:      rec.pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("suppression names unknown analyzer %q", rec.analyzer),
+			})
+		case enabled[rec.analyzer]:
+			out = append(out, Finding{
+				Pos:      rec.pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("stale suppression: %s no longer fires here; remove the //lint:ignore", rec.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 // ---- shared helpers used by the analyzers ----

@@ -79,7 +79,10 @@ func TestFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	fixtures := []string{"badcollective", "badtag", "baderr", "badalias", "badprint", "badpool"}
+	fixtures := []string{
+		"badcollective", "badtag", "baderr", "badalias", "badprint", "badpool",
+		"badmaporder", "badshare", "badnondet", "badnoalloc", "stalesuppress",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
@@ -149,10 +152,51 @@ func TestMalformedSuppression(t *testing.T) {
 	}
 }
 
-// TestAnalyzerCatalogue pins the suite composition: exactly the five
+// TestLiveSuppressionsFire closes the stale-suppression loop over the real
+// repository: every //lint:ignore currently in the module must still waive
+// a live finding. TestLintClean already fails on any finding — including
+// stale-suppression findings — so here we assert the premise: the module
+// does carry suppressions, and running the full suite marks every one of
+// them used (no Analyzer == "lint" findings).
+func TestLiveSuppressionsFire(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	directives := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if _, _, directive, _ := parseIgnoreDirective(c.Text); directive {
+						directives++
+					}
+				}
+			}
+		}
+	}
+	if directives == 0 {
+		t.Fatal("module carries no //lint:ignore directives; the stale-suppression rule is untested against live code")
+	}
+	for _, f := range Run(pkgs, All()) {
+		if f.Analyzer == "lint" {
+			t.Errorf("suppression bookkeeping finding in live code: %s", f)
+		}
+	}
+	t.Logf("%d live suppressions, all still waiving findings", directives)
+}
+
+// TestAnalyzerCatalogue pins the suite composition: exactly the nine
 // documented analyzers, each with a name and a doc string.
 func TestAnalyzerCatalogue(t *testing.T) {
-	want := []string{"collectivesym", "tagconst", "commerr", "recvalias", "noprint"}
+	want := []string{
+		"collectivesym", "tagconst", "commerr", "recvalias", "noprint",
+		"maporder", "parforshare", "nondet", "noalloc",
+	}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

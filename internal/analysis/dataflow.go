@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the suite's dataflow layer: a small def-use machinery over
+// the typed ASTs that the PR 1 analyzers (purely syntactic walks) did not
+// need. Three facilities, shared by maporder and parforshare:
+//
+//   - closeOverAssignments: a fixpoint that closes a set of "interesting"
+//     objects over the assignments of a region, so `lo, hi := chunkSpan(n,
+//     nc, chunk)` makes lo and hi chunk-derived, and `p := pos[e.V]` makes
+//     p derived once pos is;
+//   - exprMentionsObj: the use side of the walk — does this expression read
+//     any object in the set;
+//   - analyzeWriteTarget: decomposes an assignment destination into its
+//     root object and the index expressions along the chain, so the
+//     analyzers can ask "is this write slot a function of the kernel's
+//     chunk parameter" or "is this a map insert".
+//
+// The walks are intraprocedural and flow over the syntax in source order.
+// That is deliberate: the codebase's kernels and encode loops are short,
+// self-contained functions (the style the analyzers themselves enforce),
+// and an interprocedural engine would buy little beyond slower lints.
+
+// closeOverAssignments grows derived to its fixpoint over the assignments
+// inside root: any name assigned (directly or transitively) from an
+// expression that mentions a derived object becomes derived itself.
+// Multi-value assignments from a single call derive every destination, and
+// ranging over a derived collection derives the iteration variables.
+func closeOverAssignments(info *types.Info, root ast.Node, derived map[types.Object]bool) {
+	mark := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || derived[obj] {
+			return false
+		}
+		derived[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				switch {
+				case len(st.Lhs) == len(st.Rhs):
+					for i, lhs := range st.Lhs {
+						if exprMentionsObj(info, st.Rhs[i], derived) && mark(lhs) {
+							changed = true
+						}
+					}
+				case len(st.Rhs) == 1:
+					if exprMentionsObj(info, st.Rhs[0], derived) {
+						for _, lhs := range st.Lhs {
+							if mark(lhs) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if st.X != nil && exprMentionsObj(info, st.X, derived) {
+					if st.Key != nil && mark(st.Key) {
+						changed = true
+					}
+					if st.Value != nil && mark(st.Value) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				switch {
+				case len(st.Names) == len(st.Values):
+					for i, name := range st.Names {
+						if exprMentionsObj(info, st.Values[i], derived) && mark(name) {
+							changed = true
+						}
+					}
+				case len(st.Values) == 1:
+					if exprMentionsObj(info, st.Values[0], derived) {
+						for _, name := range st.Names {
+							if mark(name) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exprMentionsObj reports whether expr reads any object in set.
+func exprMentionsObj(info *types.Info, expr ast.Expr, set map[types.Object]bool) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && set[obj] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// analyzeWriteTarget decomposes an assignment destination: the root
+// identifier at the bottom of the selector/index/slice/deref chain, the
+// index expressions applied along it, and whether the outermost operation
+// is an index into a map (a map insert, which is never safe to perform
+// concurrently). A nil root means the destination is not rooted in a name
+// (e.g. f().field) and the caller should leave it alone.
+func analyzeWriteTarget(info *types.Info, e ast.Expr) (root *ast.Ident, indexes []ast.Expr, mapWrite bool) {
+	first := true
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if first {
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						mapWrite = true
+					}
+				}
+			}
+			indexes = append(indexes, x.Index)
+			e = x.X
+			first = false
+		case *ast.SliceExpr:
+			e = x.X
+			first = false
+		case *ast.StarExpr:
+			e = x.X
+			first = false
+		case *ast.SelectorExpr:
+			// A qualified package identifier (pkg.Var) roots at the
+			// package-level variable, not the package name.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return x.Sel, indexes, mapWrite
+				}
+			}
+			e = x.X
+			first = false
+		case *ast.Ident:
+			return x, indexes, mapWrite
+		default:
+			return nil, indexes, mapWrite
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's
+// source range — for kernel analysis, whether a written variable is the
+// kernel's own state or captured from the enclosing function.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// calleePkgFunc resolves call to (package path, function name) when the
+// callee is a package-level function or a method; ok is false for builtins
+// and unresolved identifiers.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// sortFuncs are the stdlib entry points that establish a deterministic
+// order on their argument: after one of these, data collected in map
+// iteration order is safe to encode or accumulate.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Ints": true, "Float64s": true, "Strings": true,
+	"SortFunc": true, "SortStableFunc": true,
+	"Sorted": true, "SortedFunc": true, "SortedStableFunc": true,
+}
+
+// isSortCall reports whether call is a sort or slices package call that
+// deterministically orders its argument. With missing type information it
+// falls back to the qualifier name.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := calleePkgFunc(info, call); ok {
+		return (path == "sort" || path == "slices") && sortFuncs[name]
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !sortFuncs[sel.Sel.Name] {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && (x.Name == "sort" || x.Name == "slices")
+}
+
+// isMapsIterCall reports whether call is maps.Keys / maps.Values / maps.All
+// — an iterator over a map, carrying the map's nondeterministic order.
+func isMapsIterCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := calleePkgFunc(info, call); ok {
+		return path == "maps" && (name == "Keys" || name == "Values" || name == "All")
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Keys" && sel.Sel.Name != "Values" && sel.Sel.Name != "All" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "maps"
+}

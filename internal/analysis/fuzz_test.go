@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzIgnoreDirective fuzzes the //lint:ignore parser with arbitrary
+// comment text. The parser sits in front of the suppression machinery, so
+// its invariants are load-bearing: a parse that misreads a directive either
+// drops a sanctioned waiver (spurious CI failure) or silently widens one
+// (masked violation).
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore noprint fixture demonstrating a sanctioned suppression")
+	f.Add("//lint:ignore nondet worker wake/shutdown arbitration")
+	f.Add("//lint:ignore noprint")
+	f.Add("// lint:ignore noprint spaced form")
+	f.Add("//lint:ignoreX not a directive")
+	f.Add("// plain comment")
+	f.Add("//")
+	f.Add("//lint:ignore  maporder   extra   interior   spacing")
+	f.Add("//lint:ignore \t nondet tabs\tinside")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, directive, ok := parseIgnoreDirective(text)
+		if ok && !directive {
+			t.Fatalf("ok implies directive: %q", text)
+		}
+		if !ok && (analyzer != "" || reason != "") {
+			t.Fatalf("failed parse must not return fields: %q -> (%q, %q)", text, analyzer, reason)
+		}
+		if ok {
+			if analyzer == "" || reason == "" {
+				t.Fatalf("ok parse with empty field: %q -> (%q, %q)", text, analyzer, reason)
+			}
+			for _, r := range analyzer {
+				if unicode.IsSpace(r) {
+					t.Fatalf("analyzer name contains whitespace: %q -> %q", text, analyzer)
+				}
+			}
+			// A well-formed directive round-trips: re-rendering the parsed
+			// fields parses to the same fields (reason is normalized to
+			// single spaces by the field split, so the round trip is the
+			// fixed point).
+			again := "//lint:ignore " + analyzer + " " + reason
+			a2, r2, d2, ok2 := parseIgnoreDirective(again)
+			if !d2 || !ok2 || a2 != analyzer || r2 != reason {
+				t.Fatalf("round trip diverged: %q -> (%q, %q) -> (%q, %q, %v, %v)",
+					text, analyzer, reason, a2, r2, d2, ok2)
+			}
+		}
+		// The canonical prefix must always be recognized as a directive,
+		// well-formed or not.
+		trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+		if strings.HasPrefix(trimmed, "lint:ignore") && !directive {
+			t.Fatalf("lint:ignore comment not recognized as a directive: %q", text)
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// NoallocDirective marks a function whose body must stay free of
+// alloc-inducing constructs in the steady state. The analyzer verifies the
+// claim statically; the noalloc_test.go harnesses in the annotated packages
+// verify it at runtime with testing.AllocsPerRun ceilings of zero, over the
+// same function list (NoallocFuncs keeps the two in lockstep).
+const NoallocDirective = "//perf:noalloc"
+
+// AnalyzerNoAlloc enforces the //perf:noalloc annotation regime on the hot
+// paths whose zero-allocation behavior the performance work depends on
+// (the sweep kernels, scanCandidates, the pooled encode paths). Inside an
+// annotated function it flags every construct that allocates, or that the
+// compiler may be forced to heap-allocate:
+//
+//   - make, new, slice/map composite literals, and &T{} literals;
+//   - append through any destination other than the appended slice itself
+//     (`x = append(x, ...)` and `x = append(x[:0], ...)` are allowed: they
+//     reuse the backing array once steady-state capacity is reached, the
+//     same contract the AllocsPerRun ceilings measure);
+//   - function literals, go, and defer (closure and frame allocation);
+//   - calls into fmt and errors (formatting allocates);
+//   - string<->[]byte conversions and string concatenation;
+//   - passing a concrete value to an interface-typed parameter (boxing).
+//
+// The check is intraprocedural: a call to an unannotated helper is not
+// followed, so the runtime harness remains the backstop for allocations
+// hiding behind calls. Error paths that allocate (wire.Reader.fail) belong
+// in unannotated helpers for exactly this reason.
+var AnalyzerNoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "verifies //perf:noalloc-annotated functions contain no alloc-inducing " +
+		"constructs (make/append-growth/boxing/closure capture); paired with the " +
+		"AllocsPerRun harnesses that bound the same functions at runtime",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd.Doc) {
+				continue
+			}
+			checkNoAllocBody(p, fd)
+		}
+	}
+}
+
+// hasNoallocDirective reports whether doc carries the //perf:noalloc
+// directive (alone on its line, optionally followed by an explanation).
+func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == NoallocDirective || strings.HasPrefix(c.Text, NoallocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoAllocBody(p *Pass, fd *ast.FuncDecl) {
+	info := p.Info
+	name := fd.Name.Name
+	selfAppends := collectSelfAppends(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkNoAllocCall(p, name, x, selfAppends)
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					p.Reportf(x.Pos(), "%s is //perf:noalloc but builds a slice literal", name)
+				case *types.Map:
+					p.Reportf(x.Pos(), "%s is //perf:noalloc but builds a map literal", name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					p.Reportf(x.Pos(), "%s is //perf:noalloc but takes the address of a composite literal (heap escape)", name)
+				}
+			}
+		case *ast.FuncLit:
+			p.Reportf(x.Pos(), "%s is //perf:noalloc but builds a function literal (closure allocation)", name)
+			return false
+		case *ast.GoStmt:
+			p.Reportf(x.Pos(), "%s is //perf:noalloc but starts a goroutine", name)
+		case *ast.DeferStmt:
+			p.Reportf(x.Pos(), "%s is //perf:noalloc but defers a call (defer frame allocation)", name)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := info.TypeOf(x); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						p.Reportf(x.Pos(), "%s is //perf:noalloc but concatenates strings", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectSelfAppends records the append calls of the form
+// `x = append(x, ...)` or `x = append(x[:0], ...)` — reuse of the
+// destination's own backing array, the one append shape a noalloc function
+// may contain.
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	self := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(call) || len(call.Args) == 0 {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			for {
+				se, ok := base.(*ast.SliceExpr)
+				if !ok {
+					break
+				}
+				base = ast.Unparen(se.X)
+			}
+			if types.ExprString(base) == types.ExprString(as.Lhs[i]) {
+				self[call] = true
+			}
+		}
+		return true
+	})
+	return self
+}
+
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool) {
+	info := p.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin || info.Uses[id] == nil {
+			switch id.Name {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s is //perf:noalloc but calls %s", name, id.Name)
+				return
+			case "append":
+				if !selfAppends[call] {
+					p.Reportf(call.Pos(), "%s is //perf:noalloc but appends to a different destination; only self-appends (x = append(x, ...)) reuse the backing array", name)
+				}
+				return
+			}
+		}
+	}
+	// Conversions: string<->[]byte copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, info.TypeOf(call.Args[0])
+		if src != nil {
+			if (isStringType(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStringType(src)) {
+				p.Reportf(call.Pos(), "%s is //perf:noalloc but converts between string and []byte (copies the bytes)", name)
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "errors") {
+		p.Reportf(call.Pos(), "%s is //perf:noalloc but calls %s.%s (formatting allocates)", name, pkg.Name(), fn.Name())
+		return
+	}
+	// Interface boxing: a concrete argument passed to an interface-typed
+	// parameter is converted to an interface value, which may allocate.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if s, ok := params.At(np - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		p.Reportf(arg.Pos(), "%s is //perf:noalloc but passes a concrete value to an interface parameter of %s (boxing may allocate)", name, fn.Name())
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// NoallocFuncs returns the //perf:noalloc-annotated functions declared in
+// the non-test Go files of dir, as "Func" or "Recv.Method" strings in
+// sorted order. The runtime harnesses use it to keep their AllocsPerRun
+// driver tables in lockstep with the annotations the analyzer verifies: a
+// new annotation without a driver (or vice versa) fails the harness test.
+func NoallocFuncs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasNoallocDirective(fd.Doc) {
+				continue
+			}
+			fn := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if rn := recvTypeName(fd.Recv.List[0].Type); rn != "" {
+					fn = rn + "." + fn
+				}
+			}
+			out = append(out, fn)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

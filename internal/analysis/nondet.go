@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerNonDet keeps nondeterministic inputs out of the solver: results
+// must be bit-identical across runs, worker counts, and transports, so
+// algorithm code must not read sources whose value varies between
+// executions. Flagged in solver packages (everything except the allowlist
+// below):
+//
+//   - wall-clock reads and timers: time.Now, time.Since, time.Sleep,
+//     time.After/AfterFunc/Tick/NewTicker/NewTimer. Sanctioned timing goes
+//     through internal/trace (trace.Now/trace.Since/trace.Timer), keeping
+//     every wall-clock read auditable in one package that never feeds
+//     algorithmic decisions;
+//   - the process-global math/rand source (rand.Intn, rand.Float64, ...):
+//     globally seeded, shared across goroutines, unreproducible.
+//     Constructing an explicitly seeded generator (rand.New,
+//     rand.NewSource, rand.NewPCG, rand.NewChaCha8) and calling its
+//     methods is fine — that is how internal/gen builds reproducible
+//     graphs;
+//   - select statements with two or more channel cases: when several cases
+//     are ready the runtime picks one pseudo-randomly, so control flow
+//     arbitrated by channel readiness is nondeterministic by construction.
+//
+// Allowlisted: internal/trace (the sanctioned clock/diagnostics sink),
+// internal/expt (the benchmark harness reports wall time), internal/comm
+// (the robustness layer — timeouts, retries, chaos injection — is
+// wall-clock by design and sits below the deterministic algorithm), and
+// the cmd/ drivers. Test files are outside the suite's scope entirely.
+var AnalyzerNonDet = &Analyzer{
+	Name: "nondet",
+	Doc: "flags nondeterministic sources in solver packages: time.Now and friends, " +
+		"the global math/rand source, and multi-case channel selects",
+	Run: runNonDet,
+}
+
+// nondetTimeFuncs are the time-package entry points that read the wall
+// clock or start wall-clock-driven machinery.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// nondetRandCtors are the math/rand and math/rand/v2 package-level
+// functions that construct explicitly seeded state rather than reading the
+// global source.
+var nondetRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// nondetExemptPaths are the package suffixes allowed to touch wall clock
+// and global randomness (see the analyzer doc).
+var nondetExemptPaths = []string{"internal/trace", "internal/expt", "internal/comm"}
+
+func nondetExempt(path string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") {
+		return true
+	}
+	for _, sfx := range nondetExemptPaths {
+		if path == sfx || strings.HasSuffix(path, "/"+sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNonDet(p *Pass) {
+	if nondetExempt(p.Path) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkNonDetCall(p, x)
+			case *ast.SelectStmt:
+				nready := 0
+				for _, cc := range x.Body.List {
+					if cc.(*ast.CommClause).Comm != nil {
+						nready++
+					}
+				}
+				if nready >= 2 {
+					p.Reportf(x.Pos(),
+						"select with %d channel cases: the runtime picks among ready cases pseudo-randomly, so control flow arbitrated by channel readiness is nondeterministic", nready)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNonDetCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if nondetTimeFuncs[fn.Name()] {
+			p.Reportf(call.Pos(),
+				"time.%s in solver code: wall-clock values diverge across runs and ranks; report timings through internal/trace (trace.Now/trace.Since) so every sanctioned read is auditable", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !nondetRandCtors[fn.Name()] {
+			p.Reportf(call.Pos(),
+				"rand.%s reads the process-global random source: globally seeded and shared across goroutines, so results are unreproducible; use a rand.New(rand.NewSource(seed)) owned by the caller", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package badmaporder is a negative fixture for the maporder analyzer:
+// map-iteration order reaching an order-sensitive sink — a wire encode, a
+// comm send or collective, or a float accumulation — without an intervening
+// deterministic sort. Each flagged function has a neighbouring control
+// showing the sanctioned shape (collect keys, sort, iterate).
+package badmaporder
+
+import (
+	"maps"
+	"slices"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/wire"
+)
+
+// EncodeInMapOrder serializes a map by ranging over it directly: the byte
+// stream differs run to run and rank to rank.
+func EncodeInMapOrder(buf *wire.Buffer, m map[int]float64) {
+	for k, v := range m {
+		buf.PutUvarint(uint64(k)) // want maporder
+		buf.PutF64(v)             // want maporder
+	}
+}
+
+// SortedEncodeOK is the control: collect the keys, sort, then encode. The
+// sort launders the collected slice, so nothing fires.
+func SortedEncodeOK(buf *wire.Buffer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		buf.PutUvarint(uint64(k))
+		buf.PutF64(m[k])
+	}
+}
+
+// SortedIterOK covers the one-liner form of the same idiom.
+func SortedIterOK(buf *wire.Buffer, m map[int]float64) {
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		buf.PutUvarint(uint64(k))
+		buf.PutF64(m[k])
+	}
+}
+
+// CollectedSliceEncode defers the encode to a second loop but never sorts:
+// the slice carries map order, and ranging over it reopens the context.
+func CollectedSliceEncode(buf *wire.Buffer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		buf.PutUvarint(uint64(k)) // want maporder
+	}
+}
+
+// StoredIteratorEncode stashes a maps.Keys iterator in a variable; the
+// stored iterator still visits in map order.
+func StoredIteratorEncode(buf *wire.Buffer, m map[int]uint64) {
+	it := maps.Keys(m)
+	for k := range it {
+		buf.PutU64(uint64(k)) // want maporder
+	}
+}
+
+// FloatAccumInMapOrder sums floats in map order: float addition is not
+// associative, so the last bits of the result depend on the visit order.
+func FloatAccumInMapOrder(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder
+	}
+	return sum
+}
+
+// SortedFloatAccumOK is the control for the float-accumulation rule.
+func SortedFloatAccumOK(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// KeyedWriteOK builds a keyed structure inside the range: stores indexed by
+// the loop key do not depend on the visit order.
+func KeyedWriteOK(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// tagPayload is a named tag so the Send below trips only maporder, not
+// tagconst.
+const tagPayload = 7
+
+// SendInMapOrder pushes messages in map order: ranks disagree on the
+// transmit sequence.
+func SendInMapOrder(c comm.Comm, owners map[int]int, payload []byte) error {
+	for _, dst := range owners {
+		if err := c.Send(dst, tagPayload, payload); err != nil { // want maporder
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectiveInMapOrder issues a collective per map entry: ranks enter the
+// collective sequence in divergent order.
+func CollectiveInMapOrder(c comm.Comm, weights map[int]float64) error {
+	for dst := range weights {
+		if _, err := comm.AllreduceFloat64Sum(c, float64(dst)); err != nil { // want maporder
+			return err
+		}
+	}
+	return nil
+}
+
+// ReusedSliceOK overwrites the collect buffer with order-free data before
+// the second loop, which clears the taint.
+func ReusedSliceOK(buf *wire.Buffer, m map[int]uint64, fixed []uint64) {
+	vals := make([]uint64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	vals = fixed
+	for _, v := range vals {
+		buf.PutU64(v)
+	}
+}

@@ -1,0 +1,127 @@
+// Package badnoalloc is a negative fixture for the noalloc analyzer: every
+// alloc-inducing construct the //perf:noalloc directive forbids, each in a
+// separately annotated function, plus controls for the allowed shapes
+// (self-appends, struct value composites, unannotated helpers).
+package badnoalloc
+
+import "errors"
+
+type scratch struct {
+	buf []int
+}
+
+// sink is an unannotated helper with an interface parameter, used by the
+// boxing case below.
+func sink(v any) { _ = v }
+
+// FillOK is the control for the sanctioned append shape: truncating and
+// self-appending reuse the backing array once steady-state capacity is
+// reached.
+//
+//perf:noalloc
+func (s *scratch) FillOK(n int) {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, i)
+	}
+}
+
+// ValueCompositeOK is the control for struct value composites: they live in
+// the frame, not the heap.
+//
+//perf:noalloc
+func ValueCompositeOK() int {
+	s := scratch{}
+	return len(s.buf)
+}
+
+// UnannotatedMayAlloc is the control for scope: without the directive the
+// analyzer has no claim to verify.
+func UnannotatedMayAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// MakesSlice calls make in an annotated body.
+//
+//perf:noalloc
+func MakesSlice(n int) int {
+	xs := make([]int, n) // want noalloc
+	return len(xs)
+}
+
+// NewsValue calls new in an annotated body.
+//
+//perf:noalloc
+func NewsValue() *int {
+	return new(int) // want noalloc
+}
+
+// ForeignAppend grows a destination other than the appended slice itself.
+//
+//perf:noalloc
+func ForeignAppend(dst, src []int) []int {
+	dst = append(src, 1) // want noalloc
+	return dst
+}
+
+// BuildsLiterals constructs slice and map literals and takes the address of
+// a composite.
+//
+//perf:noalloc
+func BuildsLiterals() *scratch {
+	xs := []int{1, 2}      // want noalloc
+	m := map[int]int{1: 2} // want noalloc
+	_ = xs
+	_ = m
+	return &scratch{} // want noalloc
+}
+
+// BuildsClosure allocates a function literal.
+//
+//perf:noalloc
+func BuildsClosure() int {
+	f := func() int { return 0 } // want noalloc
+	return f()
+}
+
+// StartsGoroutine spawns from an annotated body.
+//
+//perf:noalloc
+func StartsGoroutine(s *scratch) {
+	go s.FillOK(1) // want noalloc
+}
+
+// DefersCall defers from an annotated body.
+//
+//perf:noalloc
+func DefersCall(s *scratch) {
+	defer s.FillOK(1) // want noalloc
+}
+
+// FormatsError calls into the errors package.
+//
+//perf:noalloc
+func FormatsError() error {
+	return errors.New("boom") // want noalloc
+}
+
+// ConcatsStrings builds a string with +.
+//
+//perf:noalloc
+func ConcatsStrings(a, b string) string {
+	return a + b // want noalloc
+}
+
+// ConvertsBytes copies between string and []byte.
+//
+//perf:noalloc
+func ConvertsBytes(s string) int {
+	return len([]byte(s)) // want noalloc
+}
+
+// BoxesValue passes a concrete value to an interface parameter.
+//
+//perf:noalloc
+func BoxesValue(x int) {
+	sink(x) // want noalloc
+}

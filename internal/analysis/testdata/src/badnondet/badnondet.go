@@ -1,0 +1,75 @@
+// Package badnondet is a negative fixture for the nondet analyzer:
+// nondeterministic sources in solver code — wall-clock reads, the global
+// math/rand source, and multi-case channel selects. The fixture sits
+// outside the allowlist (internal/trace, internal/expt, internal/comm,
+// cmd/), so every rule applies.
+package badnondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StampResult reads the wall clock inside solver code; the sanctioned
+// route is trace.Now/trace.Since.
+func StampResult() int64 {
+	start := time.Now() // want nondet
+	v := int64(42)
+	v += int64(time.Since(start)) // want nondet
+	return v
+}
+
+// BackoffSleep stalls the solver on the wall clock.
+func BackoffSleep() {
+	time.Sleep(time.Millisecond) // want nondet
+}
+
+// WaitDeadline arms wall-clock machinery inside the solver.
+func WaitDeadline(ch chan int) int {
+	select { // want nondet
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // want nondet
+		return -1
+	}
+}
+
+// GlobalRandPick reads the process-global random source.
+func GlobalRandPick(n int) int {
+	return rand.Intn(n) // want nondet
+}
+
+// SeededRandOK is the control: an explicitly seeded generator owned by the
+// caller is how internal/gen builds reproducible graphs.
+func SeededRandOK(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// DurationMathOK is the control for the time package: using time.Duration
+// values and constants never reads the clock.
+func DurationMathOK(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// RacySelect arbitrates control flow by channel readiness: with both cases
+// ready the runtime picks pseudo-randomly.
+func RacySelect(a, b chan int) int {
+	select { // want nondet
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SingleCaseSelectOK is the control: one channel case plus a default is a
+// deterministic poll.
+func SingleCaseSelectOK(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,12 @@
+package dfcases
+
+import "repro/internal/wire"
+
+// MapEncode ranges a map straight into the encoder: maporder must flag
+// both Put calls.
+func MapEncode(buf *wire.Buffer, m map[int]float64) {
+	for k, v := range m {
+		buf.PutUvarint(uint64(k))
+		buf.PutF64(v)
+	}
+}

@@ -1,0 +1,25 @@
+// Package dfcases is the synthetic input for the def-use walk unit test
+// (dataflow_test.go): one file per case, so the test can assert findings
+// per file. The cases cover the two core taint questions — does a sort
+// launder a map-order slice, and does a chunk-derived index own a slot.
+package dfcases
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// MapSortEncode collects map keys, sorts them, and encodes: the sort
+// launders the order, so maporder must stay quiet.
+func MapSortEncode(buf *wire.Buffer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		buf.PutUvarint(uint64(k))
+		buf.PutF64(m[k])
+	}
+}

@@ -1,0 +1,14 @@
+package dfcases
+
+// SharedWrite accumulates into a captured scalar from a ParFor kernel:
+// parforshare must flag the write.
+func SharedWrite(p *dfPool, xs []float64) float64 {
+	var sum float64
+	p.ParFor(2, func(chunk, worker int) {
+		lo, hi := chunk*len(xs)/2, (chunk+1)*len(xs)/2
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+	})
+	return sum
+}

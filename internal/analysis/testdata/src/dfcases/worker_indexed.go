@@ -1,0 +1,26 @@
+package dfcases
+
+// dfPool is the local ParFor stand-in shared by the kernel cases.
+type dfPool struct{}
+
+func (p *dfPool) ParFor(nChunks int, kernel func(chunk, worker int)) {
+	for c := 0; c < nChunks; c++ {
+		kernel(c, 0)
+	}
+}
+
+// WorkerIndexed writes captured slices only through indexes derived from
+// the kernel's parameters (worker directly, i via the chunk fixpoint):
+// parforshare must stay quiet.
+func WorkerIndexed(p *dfPool, xs []float64) float64 {
+	partial := make([]float64, 2)
+	out := make([]float64, len(xs))
+	p.ParFor(2, func(chunk, worker int) {
+		lo, hi := chunk*len(xs)/2, (chunk+1)*len(xs)/2
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+			partial[worker] += xs[i]
+		}
+	})
+	return partial[0] + partial[1]
+}

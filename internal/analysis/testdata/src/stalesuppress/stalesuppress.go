@@ -1,0 +1,22 @@
+// Package stalesuppress is a negative fixture for the suppression
+// liveness rules: an //lint:ignore whose analyzer no longer fires on the
+// covered lines is itself reported (the waived bug was fixed, so the
+// directive now hides nothing but future regressions), and so is a
+// directive naming an analyzer that does not exist. The trailing `// want
+// lint` markers double as part of each directive's reason text, which the
+// parser accepts — the expectation machinery and the suppression parser
+// read the same line.
+package stalesuppress
+
+// Quiet once printed a banner; the print is gone but the waiver remained.
+func Quiet() int {
+	//lint:ignore noprint formerly printed a progress banner here // want lint
+	return 1
+}
+
+// Mistyped names an analyzer that is not part of the suite, so the waiver
+// can never match anything.
+func Mistyped() int {
+	//lint:ignore noprnt typo in the analyzer name // want lint
+	return 2
+}

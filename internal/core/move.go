@@ -22,6 +22,8 @@ const gainEps = 1e-12
 // the worker pool in data-sized chunks; props[i] is written by exactly one
 // chunk and the per-chunk work counts combine in chunk order, keeping the
 // result bit-identical to the serial path.
+//
+//perf:noalloc
 func (s *stage) sweep() ([]hubProposal, int) {
 	s.changed = s.changed[:0]
 	moved := 0
@@ -65,6 +67,7 @@ func newGainAccumulator(n int) *gainAccumulator {
 	return &gainAccumulator{w: make([]float64, n), seen: make([]bool, n)}
 }
 
+//perf:noalloc
 func (g *gainAccumulator) reset() {
 	for _, c := range g.keys {
 		g.w[c] = 0
@@ -73,6 +76,7 @@ func (g *gainAccumulator) reset() {
 	g.keys = g.keys[:0]
 }
 
+//perf:noalloc
 func (g *gainAccumulator) add(c int, w float64) {
 	if !g.seen[c] {
 		g.seen[c] = true
@@ -83,6 +87,8 @@ func (g *gainAccumulator) add(c int, w float64) {
 
 // sortedKeys returns the touched communities in ascending label order, so
 // every decision below is deterministic.
+//
+//perf:noalloc
 func (g *gainAccumulator) sortedKeys() []int {
 	sort.Ints(g.keys)
 	return g.keys
@@ -95,6 +101,8 @@ func (g *gainAccumulator) sortedKeys() []int {
 // (aliasing acc's scratch, valid until the next call on the same acc).
 // This is the one place the gain and tie logic lives; bestMove and
 // hubProposal both arbitrate its output.
+//
+//perf:noalloc
 func (s *stage) scanCandidates(u, cu int, k float64, adj []partition.Arc, acc *gainAccumulator) (stayGain, best float64, cands []int) {
 	acc.reset()
 	for _, a := range adj {
@@ -129,6 +137,8 @@ func (s *stage) scanCandidates(u, cu int, k float64, adj []partition.Arc, acc *g
 // bestMove evaluates vertex u (current community from s.comm, weighted
 // degree ku, adjacency adj) and returns the community it should move to.
 // ok is false when the vertex stays put.
+//
+//perf:noalloc
 func (s *stage) bestMove(u int, ku float64, adj []partition.Arc, acc *gainAccumulator) (int, bool) {
 	cu := int(s.comm[u])
 	stayGain, best, cands := s.scanCandidates(u, cu, ku, adj, acc)
@@ -219,6 +229,8 @@ func (s *stage) pickEnhanced(cands []int) int {
 // hubProposal computes this rank's proposal for hub h from the local share
 // of its arcs: the candidate community with the highest gain advantage over
 // the hub's current community, arbitrated by the same heuristic.
+//
+//perf:noalloc
 func (s *stage) hubProposal(h int, kh float64, adj []partition.Arc, acc *gainAccumulator) hubProposal {
 	ch := int(s.comm[h])
 	if len(adj) == 0 {

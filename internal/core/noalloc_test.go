@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/comm"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// TestNoallocAnnotations is the runtime half of the //perf:noalloc regime:
+// the noalloc analyzer proves the annotated bodies contain no allocating
+// constructs, and this harness bounds the same functions with
+// testing.AllocsPerRun ceilings of zero in the converged steady state. The
+// driver table is checked against analysis.NoallocFuncs, so annotating a
+// new function without adding a driver (or vice versa) fails here.
+func TestNoallocAnnotations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting under -short")
+	}
+	annotated, err := analysis.NoallocFuncs(".")
+	if err != nil {
+		t.Fatalf("reading //perf:noalloc annotations: %v", err)
+	}
+
+	g, err := gen.RMAT(gen.Graph500RMAT(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (Options{P: 1, DHigh: 32, Workers: 1}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.Build(g, partition.Options{P: 1, Kind: opt.Partitioning, DHigh: opt.DHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.RunWorld(1, func(c comm.Comm) error {
+		s := newStage(c, layout.Parts[0], opt)
+		defer s.close()
+		steadyState(t, c, s)
+
+		acc := s.accs[0]
+		u := s.sg.Owned[0]
+		ku := s.sg.OwnedWDeg[0]
+		adj := s.sg.AdjOwned[0]
+		cu := int(s.comm[u])
+
+		// One driver per annotated function. hubProposal is exercised on an
+		// owned vertex's data: it only reads stage state, so any vertex with
+		// adjacency stands in for a hub.
+		drivers := map[string]func(){
+			"stage.sweep":                func() { s.sweep() },
+			"stage.sendScratch":          func() { s.sendScratch() },
+			"gainAccumulator.reset":      func() { acc.reset() },
+			"gainAccumulator.add":        func() { acc.reset(); acc.add(cu, 1.0) },
+			"gainAccumulator.sortedKeys": func() { acc.sortedKeys() },
+			"stage.scanCandidates":       func() { s.scanCandidates(u, cu, ku, adj, acc) },
+			"stage.bestMove":             func() { s.bestMove(u, ku, adj, acc) },
+			"stage.hubProposal":          func() { s.hubProposal(u, ku, adj, acc) },
+		}
+
+		var table []string
+		for name := range drivers {
+			table = append(table, name)
+		}
+		sort.Strings(table)
+		if fmt.Sprint(table) != fmt.Sprint(annotated) {
+			t.Fatalf("driver table out of sync with //perf:noalloc annotations:\n  annotated: %v\n  drivers:   %v", annotated, table)
+		}
+
+		for _, name := range table {
+			op := drivers[name]
+			op() // settle one-time growth before counting
+			if got := testing.AllocsPerRun(10, op); got > 0 {
+				t.Errorf("%s: %v allocs/op, //perf:noalloc promises 0", name, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -227,17 +227,17 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
+	t0 := trace.Now()
 	layout, err := partition.Build(g, partition.Options{
 		P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh, Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	partTime := time.Since(t0)
+	partTime := trace.Since(t0)
 
 	outs := make([]*rankOut, opt.P)
-	tStart := time.Now()
+	tStart := trace.Now()
 	stats, err := comm.RunWorldStats(opt.P, func(c comm.Comm) error {
 		o, err := runRank(c, layout.Parts[c.Rank()], opt)
 		if err != nil {
@@ -246,7 +246,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		outs[c.Rank()] = o
 		return nil
 	})
-	totalTime := time.Since(tStart)
+	totalTime := trace.Since(tStart)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +322,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	// cs tracks the live stage; close releases its intra-rank worker
 	// goroutines (the stage's state stays readable for label resolution).
 	defer func() { cs.close() }()
-	t1 := time.Now()
+	t1 := trace.Now()
 	res1, err := st.cluster()
 	if err != nil {
 		return nil, err
@@ -333,7 +333,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		qtrace:   append([]float64(nil), res1.QTrace...),
 		finalQ:   res1.Q,
 		outer:    1,
-		stage1NS: int64(time.Since(t1)),
+		stage1NS: int64(trace.Since(t1)),
 		sim1NS:   res1.SimNS,
 		comm1NS:  res1.CommSimNS,
 		bd:       st.bd,
@@ -347,8 +347,8 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	}
 	curCount := int(ownCount) + len(sg.Hubs)
 
-	t2 := time.Now()
-	defer func() { out.stage2NS = int64(time.Since(t2)) }()
+	t2 := trace.Now()
+	defer func() { out.stage2NS = int64(trace.Since(t2)) }()
 
 	prevQ := res1.Q
 	snapshot := func() {

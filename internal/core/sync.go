@@ -15,6 +15,8 @@ import (
 // storage across iterations (wire.Buffer.Reset), so steady-state exchanges
 // allocate nothing on the send side; the transports copy payloads on Send,
 // so reuse after a collective returns is safe.
+//
+//perf:noalloc
 func (s *stage) sendScratch() [][]byte {
 	for r := 0; r < s.p; r++ {
 		s.sendBufs[r].Reset()

@@ -101,6 +101,10 @@ func NewPool(nw int) *Pool {
 
 func (p *Pool) worker(w int) {
 	for {
+		// Which of quit/start wins the race below never reaches a result:
+		// chunk partials are combined by the caller in ascending chunk order,
+		// so the dispatch schedule is invisible to the output.
+		//lint:ignore nondet worker wake/shutdown arbitration; chunk results combine in chunk order, so schedule order never reaches the output
 		select {
 		case <-p.quit:
 			return

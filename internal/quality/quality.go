@@ -11,6 +11,7 @@ package quality
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -31,6 +32,36 @@ type contingency struct {
 	table map[[2]int]int // (a-label, b-label) → count
 	rows  map[int]int    // a-label → count
 	cols  map[int]int    // b-label → count
+}
+
+// sortedLabels returns the keys of counts in ascending order. Every float
+// accumulation below iterates labels in this order: float addition is not
+// associative and Go randomizes map iteration, so summing in map order
+// would make the reported metrics differ in the last bits run to run (the
+// maporder analyzer flags exactly that).
+func sortedLabels(counts map[int]int) []int {
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedCells returns the joint table's keys in row-major order, for the
+// same reproducibility reason as sortedLabels.
+func (c *contingency) sortedCells() [][2]int {
+	cells := make([][2]int, 0, len(c.table))
+	for k := range c.table {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i][0] != cells[j][0] {
+			return cells[i][0] < cells[j][0]
+		}
+		return cells[i][1] < cells[j][1]
+	})
+	return cells
 }
 
 func buildContingency(a, b graph.Membership) (*contingency, error) {
@@ -85,16 +116,16 @@ func NMI(a, b graph.Membership) (float64, error) {
 func (c *contingency) nmi() float64 {
 	n := float64(c.n)
 	var ha, hb, mi float64
-	for _, cnt := range c.rows {
-		p := float64(cnt) / n
+	for _, lbl := range sortedLabels(c.rows) {
+		p := float64(c.rows[lbl]) / n
 		ha -= p * math.Log(p)
 	}
-	for _, cnt := range c.cols {
-		p := float64(cnt) / n
+	for _, lbl := range sortedLabels(c.cols) {
+		p := float64(c.cols[lbl]) / n
 		hb -= p * math.Log(p)
 	}
-	for key, cnt := range c.table {
-		pij := float64(cnt) / n
+	for _, key := range c.sortedCells() {
+		pij := float64(c.table[key]) / n
 		pi := float64(c.rows[key[0]]) / n
 		pj := float64(c.cols[key[1]]) / n
 		mi += pij * math.Log(pij/(pi*pj))
@@ -142,8 +173,8 @@ func (c *contingency) directedF(rowsAsTruth bool) float64 {
 		}
 	}
 	var sum float64
-	for x, cnt := range from {
-		sum += float64(cnt) * bestF[x]
+	for _, x := range sortedLabels(from) {
+		sum += float64(from[x]) * bestF[x]
 	}
 	return sum / float64(c.n)
 }
@@ -180,14 +211,14 @@ func (c *contingency) nvd() float64 {
 func (c *contingency) pairCounts() (a, b, c2, d float64) {
 	comb2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
 	var sumIJ, sumI, sumJ float64
-	for _, cnt := range c.table {
-		sumIJ += comb2(cnt)
+	for _, key := range c.sortedCells() {
+		sumIJ += comb2(c.table[key])
 	}
-	for _, cnt := range c.rows {
-		sumI += comb2(cnt)
+	for _, lbl := range sortedLabels(c.rows) {
+		sumI += comb2(c.rows[lbl])
 	}
-	for _, cnt := range c.cols {
-		sumJ += comb2(cnt)
+	for _, lbl := range sortedLabels(c.cols) {
+		sumJ += comb2(c.cols[lbl])
 	}
 	total := comb2(c.n)
 	a = sumIJ
@@ -255,8 +286,8 @@ func VMeasure(detected, truth graph.Membership) (VScores, error) {
 	n := float64(c.n)
 	entropy := func(counts map[int]int) float64 {
 		var h float64
-		for _, cnt := range counts {
-			p := float64(cnt) / n
+		for _, lbl := range sortedLabels(counts) {
+			p := float64(counts[lbl]) / n
 			h -= p * math.Log(p)
 		}
 		return h
@@ -265,7 +296,8 @@ func VMeasure(detected, truth graph.Membership) (VScores, error) {
 	hTruth := entropy(c.cols) // H(truth)
 	// Conditional entropies from the joint table.
 	var hTruthGivenDet, hDetGivenTruth float64
-	for key, cnt := range c.table {
+	for _, key := range c.sortedCells() {
+		cnt := c.table[key]
 		pij := float64(cnt) / n
 		hTruthGivenDet -= pij * math.Log(float64(cnt)/float64(c.rows[key[0]]))
 		hDetGivenTruth -= pij * math.Log(float64(cnt)/float64(c.cols[key[1]]))

@@ -21,6 +21,17 @@ import (
 // ranks printing concurrently interleave into garbage), so runtime
 // diagnostics go through Logf, whose writer is injectable and serialized.
 
+// Now returns the current wall-clock time. It exists so solver packages
+// can take timestamps without calling time.Now directly: the nondet
+// analyzer forbids raw wall-clock reads in solver code, and funneling them
+// through this package keeps every sanctioned use auditable in one place.
+// The contract is that wall clock feeds only reported timings — never an
+// algorithmic decision.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t (see Now).
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
 var (
 	logMu  sync.Mutex
 	logOut io.Writer = os.Stderr

@@ -30,34 +30,48 @@ func (w *Buffer) Bytes() []byte { return w.b }
 func (w *Buffer) Len() int { return len(w.b) }
 
 // Reset discards the buffer contents but keeps the storage.
+//
+//perf:noalloc
 func (w *Buffer) Reset() { w.b = w.b[:0] }
 
 // PutUvarint appends an unsigned varint.
+//
+//perf:noalloc
 func (w *Buffer) PutUvarint(v uint64) {
 	w.b = binary.AppendUvarint(w.b, v)
 }
 
 // PutVarint appends a signed varint.
+//
+//perf:noalloc
 func (w *Buffer) PutVarint(v int64) {
 	w.b = binary.AppendVarint(w.b, v)
 }
 
 // PutU32 appends a fixed-width little-endian uint32.
+//
+//perf:noalloc
 func (w *Buffer) PutU32(v uint32) {
 	w.b = binary.LittleEndian.AppendUint32(w.b, v)
 }
 
 // PutU64 appends a fixed-width little-endian uint64.
+//
+//perf:noalloc
 func (w *Buffer) PutU64(v uint64) {
 	w.b = binary.LittleEndian.AppendUint64(w.b, v)
 }
 
 // PutI64 appends a fixed-width little-endian int64.
+//
+//perf:noalloc
 func (w *Buffer) PutI64(v int64) {
 	w.PutU64(uint64(v))
 }
 
 // PutF64 appends a little-endian IEEE-754 float64.
+//
+//perf:noalloc
 func (w *Buffer) PutF64(v float64) {
 	w.PutU64(math.Float64bits(v))
 }
@@ -112,6 +126,8 @@ func NewReader(p []byte) *Reader { return &Reader{b: p} }
 
 // Reset re-points the Reader at p and clears its state, so hot paths can
 // keep a Reader value on the stack instead of allocating one per message.
+//
+//perf:noalloc
 func (r *Reader) Reset(p []byte) {
 	r.b = p
 	r.off = 0
@@ -131,6 +147,8 @@ func (r *Reader) fail(what string) {
 }
 
 // Uvarint reads an unsigned varint.
+//
+//perf:noalloc
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -145,6 +163,8 @@ func (r *Reader) Uvarint() uint64 {
 }
 
 // Varint reads a signed varint.
+//
+//perf:noalloc
 func (r *Reader) Varint() int64 {
 	if r.err != nil {
 		return 0
@@ -159,6 +179,8 @@ func (r *Reader) Varint() int64 {
 }
 
 // U32 reads a fixed-width uint32.
+//
+//perf:noalloc
 func (r *Reader) U32() uint32 {
 	if r.err != nil {
 		return 0
@@ -173,6 +195,8 @@ func (r *Reader) U32() uint32 {
 }
 
 // U64 reads a fixed-width uint64.
+//
+//perf:noalloc
 func (r *Reader) U64() uint64 {
 	if r.err != nil {
 		return 0
@@ -187,9 +211,13 @@ func (r *Reader) U64() uint64 {
 }
 
 // I64 reads a fixed-width int64.
+//
+//perf:noalloc
 func (r *Reader) I64() int64 { return int64(r.U64()) }
 
 // F64 reads a float64.
+//
+//perf:noalloc
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
 // Bytes reads a length-prefixed byte slice. The result aliases the input.

@@ -35,7 +35,11 @@ echo "== fuzz smoke (5s per target) =="
 # fail the go-test side under pipefail)
 go test -list '^FuzzReadBinarySharded$' ./internal/graph | grep '^FuzzReadBinarySharded$' > /dev/null \
     || { echo "error: FuzzReadBinarySharded missing from internal/graph" >&2; exit 1; }
-for pkg in ./internal/wire ./internal/graph ./internal/comm; do
+# Likewise the suppression-directive parser: every //lint:ignore in the tree
+# flows through it, so its fuzz harness must stay in the discovery set.
+go test -list '^FuzzIgnoreDirective$' ./internal/analysis | grep '^FuzzIgnoreDirective$' > /dev/null \
+    || { echo "error: FuzzIgnoreDirective missing from internal/analysis" >&2; exit 1; }
+for pkg in ./internal/wire ./internal/graph ./internal/comm ./internal/analysis; do
     for tgt in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
         echo "-- fuzz $pkg $tgt"
         go test -run '^$' -fuzz "^${tgt}\$" -fuzztime 5s "$pkg"
