@@ -24,12 +24,14 @@ import (
 )
 
 // Metrics is one benchmark's measurement. B/op and allocs/op are present
-// only when the run used -benchmem.
+// only when the run used -benchmem; Extra holds any custom b.ReportMetric
+// columns (e.g. sim-ms/op, coll-calls/op) keyed by unit.
 type Metrics struct {
-	Iters    int     `json:"iters"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op,omitempty"`
-	AllocsOp float64 `json:"allocs_op,omitempty"`
+	Iters    int                `json:"iters"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op,omitempty"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 // Doc is the BENCH_<pr>.json layout.
@@ -41,10 +43,13 @@ type Doc struct {
 	Current    map[string]Metrics `json:"current"`
 }
 
-// benchLine matches one `go test -bench` result row; B/op and allocs/op
-// columns are optional.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// benchLine matches one `go test -bench` result row; the tail is a list of
+// "<value> <unit>" measurement pairs (ns/op always; B/op and allocs/op with
+// -benchmem; custom b.ReportMetric columns interleave alphabetically).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S.*)$`)
+
+// metricPair matches one "<value> <unit>" measurement within the tail.
+var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) (\S+/(?:op|s))`)
 
 func main() {
 	pr := flag.Int("pr", 0, "PR number recorded in the document")
@@ -74,10 +79,24 @@ func main() {
 		}
 		var met Metrics
 		met.Iters, _ = strconv.Atoi(m[2])
-		met.NsOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			met.BOp, _ = strconv.ParseFloat(m[4], 64)
-			met.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			switch pair[2] {
+			case "ns/op":
+				met.NsOp = v
+			case "B/op":
+				met.BOp = v
+			case "allocs/op":
+				met.AllocsOp = v
+			default:
+				if met.Extra == nil {
+					met.Extra = make(map[string]float64)
+				}
+				met.Extra[pair[2]] = v
+			}
 		}
 		doc.Current[m[1]] = met
 	}

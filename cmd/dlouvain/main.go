@@ -27,6 +27,7 @@ import (
 	"repro/internal/louvain"
 	"repro/internal/partition"
 	"repro/internal/quality"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +48,14 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 		commDL      = flag.Duration("comm-deadline", 0, "per-receive deadline for the rank goroutines; 0 blocks forever (docs/ROBUSTNESS.md)")
+
+		// Mid-solve load rebalancing (docs/PERFORMANCE.md).
+		rebRatio  = flag.Float64("rebalance", 0, "work-imbalance threshold θ > 1 that triggers vertex migration; 0 = off")
+		rebPolicy = flag.String("rebalance-policy", "", "migration policy: greedy|ideal|none (default greedy)")
+		rebHyst   = flag.Int("rebalance-hysteresis", 0, "consecutive over-threshold iterations before migrating (0 = default)")
+		rebCool   = flag.Int("rebalance-cooldown", 0, "minimum iterations between migration events (0 = default)")
+		rebSeed   = flag.Int64("rebalance-seed", 0, "seed passed to the migration policy (0 = default)")
+		events    = flag.Bool("events", false, "stream runtime events (balance ratios, migrations, retries) to stderr")
 	)
 	flag.Parse()
 
@@ -71,7 +80,16 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
-	opt := core.Options{P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma, TrackLevels: *showLevels, Workers: *workers, CommDeadline: *commDL}
+	if *events {
+		trace.SetEventOutput(os.Stderr)
+	}
+
+	opt := core.Options{
+		P: *p, DHigh: *dhigh, TrackTrace: *showTrace, Resolution: *gamma,
+		TrackLevels: *showLevels, Workers: *workers, CommDeadline: *commDL,
+		RebalanceRatio: *rebRatio, RebalancePolicy: *rebPolicy,
+		RebalanceHysteresis: *rebHyst, RebalanceCooldown: *rebCool, RebalanceSeed: *rebSeed,
+	}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced
@@ -104,14 +122,16 @@ func main() {
 		res.Stage1Sim+res.Stage2Sim, res.Stage1Sim, res.Stage2Sim)
 	fmt.Printf("partition census: W=%.4f, max ghosts=%d\n",
 		res.Census.ImbalanceW(), res.Census.MaxGhosts())
+	fmt.Printf("load: balance=%.3f (work max/mean), rebalance events=%d, migrated vertices=%d\n",
+		res.BalanceRatio, res.RebalanceEvents, res.MigratedVertices)
 	fmt.Printf("communication: %d bytes total, %d bytes max per rank\n",
 		res.CommStats.TotalBytesSent(), res.CommStats.MaxBytesSent())
 
 	if *breakdown {
 		fmt.Printf("pipeline breakdown: ingest %v, partition %v, stage1 %v, stage2 %v\n",
 			ingestTime, res.PartitionTime, res.Stage1Time, res.Stage2Time)
-		fmt.Printf("stage-1 breakdown (rank 0): %s over %d iterations\n",
-			res.Breakdown.String(), res.Breakdown.Iters)
+		fmt.Printf("stage-1 breakdown (rank 0): %s over %d iterations, balance=%.3f\n",
+			res.Breakdown.String(), res.Breakdown.Iters, res.BalanceRatio)
 	}
 	if *showLevels {
 		fmt.Println("dendrogram:")

@@ -6,6 +6,7 @@
 //	gengraph -gen rmat:scale=14,ef=16,seed=1 -o web.txt
 //	gengraph -gen lfr:n=10000,mu=0.3 -o social.bin -truth social.communities
 //	gengraph -gen rmat:scale=20 -o web.sbin -shards 16
+//	gengraph -gen rmat:scale=14 -skew 0.7 -o skewed.txt
 package main
 
 import (
@@ -24,13 +25,25 @@ func main() {
 		outPath   = flag.String("o", "", "output path (.bin = binary, .sbin = sharded binary, .metis = METIS, otherwise edge list)")
 		truthPath = flag.String("truth", "", "write the planted membership here (LFR/SBM/caveman only)")
 		shards    = flag.Int("shards", 16, "shard count for .sbin output (readers decode shards concurrently)")
+		skew      = flag.Float64("skew", 0, "rmat only: quadrant skew in (0,1); 0.57 = Graph500 defaults (see gen.SetSkew)")
 	)
 	flag.Parse()
 	if *spec == "" || *outPath == "" {
 		fmt.Fprintln(os.Stderr, "gengraph: -gen SPEC and -o FILE are required")
 		os.Exit(2)
 	}
-	g, truth, err := gen.ParseSpec(*spec)
+	genSpec := *spec
+	if *skew != 0 {
+		if !strings.HasPrefix(genSpec, "rmat") {
+			fatal(fmt.Errorf("-skew applies only to rmat specs, got %q", genSpec))
+		}
+		sep := ","
+		if !strings.Contains(genSpec, ":") {
+			sep = ":"
+		}
+		genSpec = fmt.Sprintf("%s%sskew=%g", genSpec, sep, *skew)
+	}
+	g, truth, err := gen.ParseSpec(genSpec)
 	if err != nil {
 		fatal(err)
 	}

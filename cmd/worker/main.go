@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/partition"
 	"repro/internal/wire"
 )
 
@@ -30,8 +31,18 @@ func main() {
 		addrList  = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
 		graphPath = flag.String("graph", "", "path to a graph file (.txt/.bin/.sbin; all workers must use the same input)")
 		genSpec   = flag.String("gen", "", "generator spec (all workers must use the same spec)")
-		heuristic = flag.String("heuristic", "enhanced", "convergence heuristic: enhanced|simple|strict")
-		workers   = flag.Int("workers", 0, "intra-rank workers for ingest and the parallel kernels (0 = automatic, 1 = serial; results are identical)")
+		heuristic   = flag.String("heuristic", "enhanced", "convergence heuristic: enhanced|simple|strict")
+		workers     = flag.Int("workers", 0, "intra-rank workers for ingest and the parallel kernels (0 = automatic, 1 = serial; results are identical)")
+		partitioner = flag.String("partitioning", "delegate", "partitioning: delegate|1d (all workers must agree)")
+
+		// Mid-solve load rebalancing (docs/PERFORMANCE.md); all workers must
+		// pass identical values — the plan is computed independently on every
+		// rank from replicated inputs, so divergent knobs diverge the worlds.
+		rebRatio  = flag.Float64("rebalance", 0, "work-imbalance threshold θ > 1 that triggers vertex migration; 0 = off")
+		rebPolicy = flag.String("rebalance-policy", "", "migration policy: greedy|ideal|none (default greedy)")
+		rebHyst   = flag.Int("rebalance-hysteresis", 0, "consecutive over-threshold iterations before migrating (0 = default)")
+		rebCool   = flag.Int("rebalance-cooldown", 0, "minimum iterations between migration events (0 = default)")
+		rebSeed   = flag.Int64("rebalance-seed", 0, "seed passed to the migration policy (0 = default)")
 
 		// Robustness knobs (docs/ROBUSTNESS.md). Workers of one world are
 		// rarely started simultaneously, so dials retry with backoff until
@@ -62,7 +73,19 @@ func main() {
 	}
 	defer ep.Close()
 
-	opt := core.Options{P: len(addrs), CommDeadline: *commDeadline, Workers: *workers}
+	opt := core.Options{
+		P: len(addrs), CommDeadline: *commDeadline, Workers: *workers,
+		RebalanceRatio: *rebRatio, RebalancePolicy: *rebPolicy,
+		RebalanceHysteresis: *rebHyst, RebalanceCooldown: *rebCool, RebalanceSeed: *rebSeed,
+	}
+	switch *partitioner {
+	case "delegate":
+		opt.Partitioning = partition.Delegate
+	case "1d":
+		opt.Partitioning = partition.OneD
+	default:
+		fatal(fmt.Errorf("unknown partitioning %q", *partitioner))
+	}
 	switch *heuristic {
 	case "enhanced":
 		opt.Heuristic = core.HeuristicEnhanced
@@ -79,10 +102,13 @@ func main() {
 		fatal(err)
 	}
 
-	// Gather every rank's piece at rank 0 and assemble the membership.
-	b := wire.NewBuffer(len(res.Tracked) * 6)
+	// Gather every rank's piece at rank 0 and assemble the membership. Each
+	// piece carries the rank's work units so rank 0 can report the final
+	// work-balance ratio alongside the labels.
+	b := wire.NewBuffer(len(res.Tracked)*6 + 10)
 	b.PutInts(res.Tracked)
 	b.PutInts(res.Labels)
+	b.PutInts([]int{int(res.WorkUnits)})
 	pieces, err := comm.Gather(ep, 0, b.Bytes())
 	if err != nil {
 		fatal(err)
@@ -93,21 +119,34 @@ func main() {
 	}
 	fmt.Printf("times: ingest %v, stage1 %v, stage2 %v\n", ingestTime, res.Stage1Time, res.Stage2Time)
 	membership := make(graph.Membership, g.NumVertices())
+	var workMax, workSum int64
 	for _, piece := range pieces {
 		rd := wire.NewReader(piece)
 		tracked := rd.Ints()
 		labels := rd.Ints()
+		work := rd.Ints()
 		if err := rd.Err(); err != nil {
 			fatal(err)
 		}
 		for i, u := range tracked {
 			membership[u] = labels[i]
 		}
+		w := int64(work[0])
+		workSum += w
+		if w > workMax {
+			workMax = w
+		}
 	}
 	k := membership.Normalize()
 	fmt.Printf("distributed run over %d TCP workers complete\n", len(addrs))
 	fmt.Printf("modularity: %.6f (%d communities), verified %.6f\n",
 		res.Modularity, k, graph.Modularity(g, membership))
+	balance := 0.0
+	if workSum > 0 {
+		balance = float64(workMax) * float64(len(addrs)) / float64(workSum)
+	}
+	fmt.Printf("load: balance=%.3f (work max/mean), rebalance events=%d, migrated vertices=%d\n",
+		balance, res.RebalanceEvents, res.MigratedVertices)
 }
 
 func loadGraph(path, spec string, workers int) (*graph.Graph, graph.Membership, error) {

@@ -70,6 +70,15 @@ var collectiveNames = map[string]bool{
 	"AllreduceIterStats":          true,
 	"AllreduceBytesRingPipelined": true,
 	"AllreduceBytesAuto":          true,
+	// Mid-solve load rebalancing (PR 7): the migration exchanges and the
+	// work-vector reductions that drive the trigger. Doubly deadly under
+	// rank-dependent control flow — the migration rounds share one tag and
+	// rely on per-pair FIFO order, so an asymmetric entry desynchronizes
+	// the round framing for the whole world.
+	"MigrationExchange":      true,
+	"MigrationExchangeSeq":   true,
+	"AllreduceIterStatsWork": true,
+	"AllreduceInt64SliceMax": true,
 }
 
 // rankNames are identifiers assumed to hold a rank by naming convention.

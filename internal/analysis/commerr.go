@@ -56,6 +56,10 @@ var commErrOps = map[string]bool{
 	// plain operations do, so their errors carry the same obligation.
 	"RecvTimeout": true, "Retry": true,
 	"DialTCPWorldConfig": true, "RunWorldChaos": true, "Drain": true,
+	// Mid-solve load rebalancing (PR 7): a dropped migration error leaves
+	// the world's ownership directories divergent — worse than a crash.
+	"MigrationExchange": true, "MigrationExchangeSeq": true,
+	"AllreduceIterStatsWork": true, "AllreduceInt64SliceMax": true,
 }
 
 // graphIOOps are the graph package's IO entry points. The parallel ingest

@@ -81,3 +81,44 @@ func RootOnlyPipelinedRing(c comm.Comm, data []byte) ([]byte, error) {
 	}
 	return data, nil
 }
+
+// HotRankOnlyMigration covers the load rebalancer (PR 7): a donor-only
+// migration exchange. The four migration rounds share one tag and rely on
+// per-pair FIFO order, so a rank that skips the exchange desynchronizes
+// the round framing for the entire world, not just itself.
+func HotRankOnlyMigration(c comm.Comm, out [][]byte) error {
+	if c.Rank() == 0 {
+		return comm.MigrationExchange(c, out, func(src int, payload []byte) error { return nil }) // want collectivesym
+	}
+	return nil
+}
+
+// DerivedRankSeqMigration is the sequential-path variant behind a
+// rank-derived condition.
+func DerivedRankSeqMigration(c comm.Comm, out [][]byte) ([][]byte, error) {
+	donor := c.Rank() < c.Size()/2
+	if donor {
+		return comm.MigrationExchangeSeq(c, out) // want collectivesym
+	}
+	return nil, nil
+}
+
+// RootOnlyWorkReduce guards the fused stats+work reduction that feeds the
+// rebalancing trigger: ranks that skip it never learn the work vector and
+// diverge on whether to migrate.
+func RootOnlyWorkReduce(c comm.Comm, work []int64) (comm.IterStats, error) {
+	if c.Rank() == 0 {
+		return comm.AllreduceIterStatsWork(c, comm.IterStats{}, work) // want collectivesym
+	}
+	return comm.IterStats{}, nil
+}
+
+// SwitchOnRankSliceMax covers the sequential work-vector reduction.
+func SwitchOnRankSliceMax(c comm.Comm, work []int64) ([]int64, error) {
+	switch c.Rank() {
+	case 0:
+		return comm.AllreduceInt64SliceMax(c, work) // want collectivesym
+	default:
+		return work, nil
+	}
+}

@@ -117,3 +117,27 @@ func DropAutoReduce(c comm.Comm, data []byte) []byte {
 	out, _ := comm.AllreduceBytesAuto(c, data, 1, nil, keepFirst) // want commerr
 	return out
 }
+
+// DropMigration drops the migration exchange's error on the floor: the
+// world's ownership directories diverge silently.
+func DropMigration(c comm.Comm, out [][]byte) {
+	comm.MigrationExchange(c, out, func(src int, payload []byte) error { return nil }) // want commerr
+}
+
+// DropSeqMigration blanks the sequential migration exchange's error but
+// keeps the payloads — exactly the stale-data hazard the analyzer exists for.
+func DropSeqMigration(c comm.Comm, out [][]byte) [][]byte {
+	in, _ := comm.MigrationExchangeSeq(c, out) // want commerr
+	return in
+}
+
+// DropWorkReduce blanks the fused stats+work reduction's error.
+func DropWorkReduce(c comm.Comm, work []int64) comm.IterStats {
+	v, _ := comm.AllreduceIterStatsWork(c, comm.IterStats{}, work) // want commerr
+	return v
+}
+
+// DropSliceMax drops the sequential work-vector reduction's error.
+func DropSliceMax(c comm.Comm, work []int64) {
+	comm.AllreduceInt64SliceMax(c, work) // want commerr
+}

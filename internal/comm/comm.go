@@ -80,6 +80,7 @@ const (
 	tagAllgather
 	tagAlltoallv
 	tagGather
+	tagMigrate
 )
 
 func checkPeer(c Comm, peer int) error {

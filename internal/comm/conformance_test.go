@@ -379,6 +379,78 @@ func batteryCollectives(c Comm) error {
 		return fmt.Errorf("iterstats: rank %d got %+v want %+v", r, st, wantStats)
 	}
 
+	// Fused reduction with the work-vector piggyback: the scalar bundle must
+	// match AllreduceIterStats bit-for-bit and the vector must reassemble
+	// every rank's Work contribution in its slot.
+	workVec := make([]int64, p)
+	stw, err := AllreduceIterStatsWork(c, IterStats{
+		Moved: int64(r + 1), Work: int64(2 * r), CommNS: int64(100 - r), Q: float64(r) + 0.5,
+	}, workVec)
+	if err != nil {
+		return fmt.Errorf("iterstats-work: %w", err)
+	}
+	if stw != wantStats {
+		return fmt.Errorf("iterstats-work: rank %d got %+v want %+v", r, stw, wantStats)
+	}
+	for i := 0; i < p; i++ {
+		if workVec[i] != int64(2*i) {
+			return fmt.Errorf("iterstats-work: rank %d slot %d got %d want %d", r, i, workVec[i], 2*i)
+		}
+	}
+
+	// Sequential-path counterpart: own slot set, zeros elsewhere, elementwise
+	// max reassembles the identical vector.
+	sparse := make([]int64, p)
+	sparse[r] = int64(2 * r)
+	maxVec, err := AllreduceInt64SliceMax(c, sparse)
+	if err != nil {
+		return fmt.Errorf("slicemax: %w", err)
+	}
+	for i := 0; i < p; i++ {
+		if maxVec[i] != workVec[i] {
+			return fmt.Errorf("slicemax: rank %d slot %d got %d want %d", r, i, maxVec[i], workVec[i])
+		}
+	}
+
+	// Migration exchange: exactly-once delivery with self first (overlapped)
+	// and byte-equality of the sequential baseline, mirroring the alltoallv
+	// checks above but on the migration tag.
+	outM := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		outM[i] = payload("mig", r, i)
+	}
+	seenM := make([]bool, p)
+	firstM, callsM := -1, 0
+	err = MigrationExchange(c, outM, func(src int, pay []byte) error {
+		if firstM == -1 {
+			firstM = src
+		}
+		if src < 0 || src >= p || seenM[src] {
+			return fmt.Errorf("duplicate or bad src %d", src)
+		}
+		seenM[src] = true
+		callsM++
+		if want := payload("mig", src, r); !bytes.Equal(pay, want) {
+			return fmt.Errorf("from %d got %q want %q", src, pay, want)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("migration-exchange: rank %d: %w", r, err)
+	}
+	if callsM != p || firstM != r {
+		return fmt.Errorf("migration-exchange: rank %d calls=%d first=%d, want %d calls and self first", r, callsM, firstM, p)
+	}
+	inM, err := MigrationExchangeSeq(c, outM)
+	if err != nil {
+		return fmt.Errorf("migration-exchange-seq: %w", err)
+	}
+	for i := 0; i < p; i++ {
+		if want := payload("mig", i, r); !bytes.Equal(inM[i], want) {
+			return fmt.Errorf("migration-exchange-seq: rank %d from %d got %q want %q", r, i, inM[i], want)
+		}
+	}
+
 	// Pipelined ring and size-based selection over a 64-record u64 vector
 	// with an elementwise-max combine (an exact semilattice, so every
 	// algorithm must produce identical bytes). Fixed order once more: all

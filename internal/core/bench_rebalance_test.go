@@ -1,0 +1,66 @@
+package core
+
+// Macro benchmarks for mid-solve load rebalancing: the full distributed
+// pipeline on a planted-hub graph whose hubs all land on rank 0 under 1-D
+// round-robin partitioning — the adversarial workload the rebalancer
+// exists for. The headline metric is sim-ms/op, the cumulative simulated
+// parallel time (compute + α-β communication, both stages): wall time on
+// an oversubscribed benchmark host says little about a 4-rank machine,
+// while the simulated clock prices exactly the imbalance the policies
+// attack. scripts/bench.sh records the trajectory in BENCH_<pr>.json.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// benchRebalanceGraph is the benchmark workload: hubs at stride 4 so every
+// one of them is owned by rank 0 of a 4-rank 1-D partitioning.
+func benchRebalanceGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, _, err := gen.PlantedHubs(8192, 128, 96, 4, 384, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchRebalance(b *testing.B, ratio float64, policy string) {
+	g := benchRebalanceGraph(b)
+	opt := Options{
+		P: 4, Partitioning: partition.OneD,
+		RebalanceRatio: ratio, RebalancePolicy: policy,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var simNS, events int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(g, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Modularity <= 0 {
+			b.Fatal("bad modularity")
+		}
+		simNS += int64(res.Stage1Sim + res.Stage2Sim + res.Stage1CommSim + res.Stage2CommSim)
+		events += int64(res.RebalanceEvents)
+	}
+	b.ReportMetric(float64(simNS)/float64(b.N)/1e6, "sim-ms/op")
+	b.ReportMetric(float64(events)/float64(b.N), "migrations/op")
+}
+
+// BenchmarkRebalanceOff is the baseline: static 1-D partitioning rides out
+// the hub-loaded rank for the whole solve.
+func BenchmarkRebalanceOff(b *testing.B) { benchRebalance(b, 0, "") }
+
+// BenchmarkRebalanceGreedy sheds work above the mean once the imbalance
+// ratio crosses the trigger (the production configuration).
+func BenchmarkRebalanceGreedy(b *testing.B) { benchRebalance(b, 1.1, "greedy") }
+
+// BenchmarkRebalanceIdeal levels every rank to the mean on each event — the
+// oracle bound on what migration can buy; the gap between greedy and ideal
+// is the headroom left in the policy, not the mechanism.
+func BenchmarkRebalanceIdeal(b *testing.B) { benchRebalance(b, 1.1, "ideal") }

@@ -64,7 +64,7 @@ func TestResolveQueries(t *testing.T) {
 		err := comm.RunWorld(4, func(c comm.Comm) error {
 			// lookup(x) = x*10 computed at owner x%4
 			queries := []int{c.Rank(), 7, 0, 13, c.Rank() + 4}
-			res, err := resolveQueries(c, queries, func(x int) int { return x * 10 }, seq)
+			res, err := resolveQueries(c, queries, func(x int) int { return x % 4 }, func(x int) int { return x * 10 }, seq)
 			if err != nil {
 				return err
 			}
@@ -83,7 +83,7 @@ func TestResolveQueries(t *testing.T) {
 
 func TestResolveQueriesEmpty(t *testing.T) {
 	err := comm.RunWorld(3, func(c comm.Comm) error {
-		res, err := resolveQueries(c, nil, func(x int) int { return x }, false)
+		res, err := resolveQueries(c, nil, func(x int) int { return x % 3 }, func(x int) int { return x }, false)
 		if err != nil {
 			return err
 		}

@@ -186,19 +186,21 @@ func (s *stage) merge() (*partition.Subgraph, int, error) {
 	return ns, total, nil
 }
 
-// resolveQueries maps each query x to lookup(x) evaluated on the rank that
-// owns x (x mod P), via a request/reply all-to-all exchange. Both legs
+// resolveQueries maps each query x to lookup(x) evaluated on the rank
+// route(x) that currently owns x (the stage's ownerOf — static x mod P
+// until a migration builds the directory), via a request/reply all-to-all
+// exchange. Both legs
 // stream: each request frame is answered as it arrives (the reply for
 // source r depends only on r's frame), and each reply is scattered into
 // the result as it lands (pos buckets are disjoint), so seq=false overlaps
 // all decode/encode work with in-flight traffic; seq=true is the
 // sequential baseline (Options.SequentialCollectives).
-func resolveQueries(c comm.Comm, queries []int, lookup func(int) int, seq bool) ([]int, error) {
+func resolveQueries(c comm.Comm, queries []int, route, lookup func(int) int, seq bool) ([]int, error) {
 	p := c.Size()
 	reqs := make([][]int, p)
 	pos := make([][]int, p) // original index of each routed query
 	for i, x := range queries {
-		o := x % p
+		o := route(x)
 		reqs[o] = append(reqs[o], x)
 		pos[o] = append(pos[o], i)
 	}

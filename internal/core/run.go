@@ -37,6 +37,15 @@ func (s *stage) cluster() (stageResult, error) {
 		workStart := s.work
 		snapStart := s.c.Stats().Snapshot()
 		s.tm.Start(trace.Other)
+		if s.pol != nil && iter > 1 {
+			// Rebalance against the previous iteration's replicated work
+			// vector. Running after the stats snapshots means migration
+			// traffic and decode work are priced into this iteration's
+			// simulated times like any other exchange.
+			if err := s.maybeRebalance(iter); err != nil {
+				return res, err
+			}
+		}
 		if err := s.fetchCommunityInfo(); err != nil {
 			return res, err
 		}
@@ -89,6 +98,34 @@ func (s *stage) cluster() (stageResult, error) {
 			if maxComm, err = comm.AllreduceInt64Max(s.c, commNS); err != nil {
 				return res, err
 			}
+			if s.pol != nil {
+				// Sequential counterpart of the work-vector piggyback: one
+				// extra sparse elementwise-max allreduce replicates the
+				// per-rank work vector for the rebalance planner.
+				for i := range s.workVec {
+					s.workVec[i] = 0
+				}
+				s.workVec[s.rnk] = iterWork
+				wv, err := comm.AllreduceInt64SliceMax(s.c, s.workVec)
+				if err != nil {
+					return res, err
+				}
+				copy(s.workVec, wv)
+			}
+		} else if s.pol != nil {
+			// Fused reduction extended with the per-rank work vector: same
+			// message count as AllreduceIterStats, and bit-identical scalar
+			// results, so enabling rebalancing never perturbs Q.
+			st, err := comm.AllreduceIterStatsWork(s.c, comm.IterStats{
+				Moved:  int64(movedLocal + hubMoved),
+				Work:   iterWork,
+				CommNS: commNS,
+				Q:      local,
+			}, s.workVec)
+			if err != nil {
+				return res, err
+			}
+			q, movedTotal, maxWork, maxComm = st.Q, st.Moved, st.Work, st.CommNS
 		} else {
 			st, err := comm.AllreduceIterStats(s.c, comm.IterStats{
 				Moved:  int64(movedLocal + hubMoved),
@@ -100,6 +137,12 @@ func (s *stage) cluster() (stageResult, error) {
 				return res, err
 			}
 			q, movedTotal, maxWork, maxComm = st.Q, st.Moved, st.Work, st.CommNS
+		}
+		if s.pol != nil && s.rnk == 0 {
+			if max, sum := s.workStats(); sum > 0 {
+				trace.Eventf("balance", "iter=%d work-max=%d work-mean=%.1f ratio=%.3f",
+					iter, max, float64(sum)/float64(s.p), float64(max)*float64(s.p)/float64(sum))
+			}
 		}
 		if debugInvariants {
 			if err := s.checkInvariants(iter); err != nil {
@@ -188,6 +231,17 @@ type Result struct {
 
 	// CommStats is the per-rank traffic census of the whole run.
 	CommStats comm.WorldStats
+
+	// BalanceRatio is the whole-run work balance: max over ranks of total
+	// deterministic work units divided by the mean (1.0 = perfect balance).
+	// It is what mid-solve rebalancing tries to push toward 1.
+	BalanceRatio float64
+	// RebalanceEvents counts migration events across all stages (0 when
+	// rebalancing is off or never triggered).
+	RebalanceEvents int
+	// MigratedVertices counts vertices migrated world-wide across all
+	// stages.
+	MigratedVertices int64
 }
 
 // rankOut is what each rank contributes to the final Result.
@@ -207,6 +261,10 @@ type rankOut struct {
 	bd       trace.Breakdown
 	busyBD   trace.Breakdown
 	levels   [][]int // per-stage label snapshots of tracked vertices
+
+	workUnits int64 // total deterministic work units across all stages
+	rebEvents int   // migration events (identical on every rank)
+	migrated  int64 // vertices migrated world-wide (identical on every rank)
 }
 
 // Run executes the full distributed Louvain algorithm on g with opt.P ranks
@@ -276,6 +334,18 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 			res.Stage2Time = d
 		}
 	}
+	var wmax, wsum int64
+	for _, o := range outs {
+		wsum += o.workUnits
+		if o.workUnits > wmax {
+			wmax = o.workUnits
+		}
+	}
+	if wsum > 0 {
+		res.BalanceRatio = float64(wmax) * float64(len(outs)) / float64(wsum)
+	}
+	res.RebalanceEvents = outs[0].rebEvents
+	res.MigratedVertices = outs[0].migrated
 	res.Stage1Sim = time.Duration(outs[0].sim1NS)
 	res.Stage2Sim = time.Duration(outs[0].sim2NS)
 	res.Stage1CommSim = time.Duration(outs[0].comm1NS)
@@ -339,6 +409,9 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		bd:       st.bd,
 		busyBD:   st.workBreakdown(),
 	}
+	out.workUnits += st.work
+	out.rebEvents += st.reb.events
+	out.migrated += st.reb.migrated
 
 	// Current global vertex count (needed to detect a no-op merge).
 	ownCount, err := comm.AllreduceInt64Sum(c, int64(len(sg.Owned)))
@@ -358,7 +431,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 	}
 	for {
 		if opt.MaxOuterLevels > 0 && out.outer >= opt.MaxOuterLevels {
-			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
+			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
 			if err != nil {
 				return nil, err
 			}
@@ -370,7 +443,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		if err != nil {
 			return nil, err
 		}
-		cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.dense[cs.comm[x]]) }, opt.SequentialCollectives)
+		cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.dense[cs.comm[x]]) }, opt.SequentialCollectives)
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +455,14 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		}
 		curCount = k
 
-		st2 := newStage(c, newSG, opt)
+		// Merged stages run with migration off: community ownership (c%p)
+		// already spreads the coarse graph evenly, and the few remaining
+		// iterations cannot amortize a migration event's traffic — measured
+		// on the planted-hub benchmark, coarse-stage migration only ever
+		// added cost. Work units still accrue to the run's BalanceRatio.
+		opt2 := opt
+		opt2.RebalanceRatio = 0
+		st2 := newStage(c, newSG, opt2)
 		r2, err := st2.cluster()
 		if err != nil {
 			st2.close()
@@ -390,6 +470,9 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		}
 		cs.close()
 		cs = st2
+		out.workUnits += st2.work
+		out.rebEvents += st2.reb.events
+		out.migrated += st2.reb.migrated
 		out.outer++
 		out.qtrace = append(out.qtrace, r2.QTrace...)
 		out.finalQ = r2.Q
@@ -397,7 +480,7 @@ func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error)
 		out.comm2NS += r2.CommSimNS
 		if r2.Q-prevQ < opt.MinGain {
 			// Keep this stage's (possibly tiny) improvement, then stop.
-			cur, err = resolveQueries(c, cur, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
+			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/partition"
+	"repro/internal/rebalance"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -129,6 +130,18 @@ type stage struct {
 	chunkArcs [maxChunks]int64
 	chunkWork []int64
 
+	// Mid-solve rebalancing state (migrate.go). pol is nil when rebalancing
+	// is off — the entire feature then costs one nil check per iteration.
+	// owner is the replicated vertex-ownership directory, allocated on the
+	// first migration (nil = static v mod p ownership); community ownership
+	// (commOwner) stays c mod p regardless — only vertices migrate, the
+	// aggregate tables do not. workVec is the replicated per-rank work
+	// vector filled by the fused reduction, the policy's planning input.
+	pol     rebalance.Policy
+	owner   []int32
+	workVec []int64
+	reb     rebState
+
 	bd trace.Breakdown
 	tm *trace.Timer
 
@@ -141,6 +154,22 @@ type stage struct {
 	// algorithm phase (Figure 8(b)).
 	work      int64
 	workPhase [trace.NumPhases]int64
+}
+
+// rebState tracks the rebalance trigger across iterations. Every field is
+// derived from replicated data (the allreduced work vector and the shared
+// iteration counter), so all ranks hold identical copies without any
+// agreement collective.
+type rebState struct {
+	// over counts consecutive over-threshold iterations (hysteresis).
+	over int
+	// lastIter is the iteration of the last migration event; initialized
+	// far in the past so the cooldown never blocks the first event.
+	lastIter int
+	// events counts migration events fired this stage.
+	events int
+	// migrated counts vertices migrated world-wide this stage.
+	migrated int64
 }
 
 // WorkUnitNS is the nominal cost of one work unit (one arc scanned, one
@@ -206,33 +235,7 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		}
 		s.chunkArcs[chunk] = w
 	}
-	nOwned := len(sg.Owned)
-	nv := nOwned + nh
-	s.qChunks = numChunks(nv)
-	s.qKernel = func(chunk, _ int) {
-		lo, hi := chunkSpan(nv, s.qChunks, chunk)
-		var in float64
-		arcs := int64(0)
-		for i := lo; i < hi; i++ {
-			var cv int32
-			var adj []partition.Arc
-			if i < nOwned {
-				cv = s.comm[sg.Owned[i]]
-				adj = sg.AdjOwned[i]
-			} else {
-				cv = s.comm[sg.Hubs[i-nOwned]]
-				adj = sg.AdjHub[i-nOwned]
-			}
-			for _, a := range adj {
-				if s.comm[a.To] == cv {
-					in += a.W
-				}
-			}
-			arcs += int64(len(adj))
-		}
-		s.chunkQ[chunk] = in
-		s.chunkArcs[chunk] = arcs
-	}
+	s.buildQKernel()
 	s.encKernel = func(r, _ int) {
 		b := s.sendBufs[r]
 		b.PutInts(s.reqs[r])
@@ -261,6 +264,12 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		cw = maxChunks
 	}
 	s.chunkWork = make([]int64, cw)
+	if opt.rebalanceOn() {
+		// Policy validity was checked in withDefaults.
+		s.pol, _ = rebalance.ByName(opt.RebalancePolicy)
+		s.workVec = make([]int64, s.p)
+		s.reb.lastIter = -1 << 30
+	}
 	s.tm = trace.NewTimer(&s.bd)
 	for i := range s.comm {
 		s.comm[i] = -1
@@ -282,6 +291,42 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		s.comm[g] = int32(g)
 	}
 	return s
+}
+
+// buildQKernel (re)builds the globalModularity arc-scan kernel over the
+// concatenated owned+hub index space. The chunk count is a pure function
+// of the current owned-vertex count, and the closure snapshots the owned
+// tables it scans, so it is rebuilt whenever a migration changes them
+// (newStage calls it once for the static case).
+func (s *stage) buildQKernel() {
+	sg := s.sg
+	nOwned := len(sg.Owned)
+	nv := nOwned + len(sg.Hubs)
+	s.qChunks = numChunks(nv)
+	s.qKernel = func(chunk, _ int) {
+		lo, hi := chunkSpan(nv, s.qChunks, chunk)
+		var in float64
+		arcs := int64(0)
+		for i := lo; i < hi; i++ {
+			var cv int32
+			var adj []partition.Arc
+			if i < nOwned {
+				cv = s.comm[sg.Owned[i]]
+				adj = sg.AdjOwned[i]
+			} else {
+				cv = s.comm[sg.Hubs[i-nOwned]]
+				adj = sg.AdjHub[i-nOwned]
+			}
+			for _, a := range adj {
+				if s.comm[a.To] == cv {
+					in += a.W
+				}
+			}
+			arcs += int64(len(adj))
+		}
+		s.chunkQ[chunk] = in
+		s.chunkArcs[chunk] = arcs
+	}
 }
 
 // close releases the stage's worker goroutines. The stage's state stays

@@ -373,3 +373,67 @@ func TestLFRDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSetSkew(t *testing.T) {
+	cfg := Graph500RMAT(8, 1)
+	if err := cfg.SetSkew(0.57); err != nil {
+		t.Fatal(err)
+	}
+	// skew = 0.57 must reproduce the Graph500 quadrants exactly (up to the
+	// integer-ratio split of the remaining mass).
+	if math.Abs(cfg.A-0.57) > 1e-12 || math.Abs(cfg.B-0.19) > 1e-12 ||
+		math.Abs(cfg.C-0.19) > 1e-12 || math.Abs(cfg.D-0.05) > 1e-12 {
+		t.Fatalf("skew=0.57 gave %+v, want Graph500 quadrants", cfg)
+	}
+	if err := cfg.SetSkew(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if s := cfg.A + cfg.B + cfg.C + cfg.D; math.Abs(s-1) > 1e-12 {
+		t.Fatalf("quadrants sum to %g, want 1", s)
+	}
+	for _, bad := range []float64{0, 1, -0.3, 1.5} {
+		if err := cfg.SetSkew(bad); err == nil {
+			t.Errorf("SetSkew(%g) accepted", bad)
+		}
+	}
+}
+
+func TestPlantedHubs(t *testing.T) {
+	const n, csize, hubs, stride, deg = 1024, 32, 8, 4, 100
+	g, truth, err := PlantedHubs(n, csize, hubs, stride, deg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != n || len(truth) != n {
+		t.Fatalf("got %d vertices, truth %d, want %d", g.NumVertices(), len(truth), n)
+	}
+	if truth[0] != 0 || truth[csize] != 1 || truth[n-1] != n/csize-1 {
+		t.Fatalf("block membership wrong: %d %d %d", truth[0], truth[csize], truth[n-1])
+	}
+	// Hubs must dominate the degree distribution; background vertices stay
+	// light. Count arc degree per vertex.
+	degOf := make([]int, n)
+	for u := 0; u < n; u++ {
+		degOf[u] = g.Degree(u)
+	}
+	minHub := n
+	for j := 0; j < hubs; j++ {
+		if d := degOf[j*stride]; d < minHub {
+			minHub = d
+		}
+	}
+	if minHub < deg/2 {
+		t.Errorf("lightest hub has degree %d, want >= %d", minHub, deg/2)
+	}
+	// Determinism.
+	g2, _, err := PlantedHubs(n, csize, hubs, stride, deg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != g2.NumArcs() {
+		t.Error("PlantedHubs is not deterministic")
+	}
+	if _, _, err := PlantedHubs(100, 10, 30, 4, 5, 1); err == nil {
+		t.Error("out-of-range hub accepted")
+	}
+}

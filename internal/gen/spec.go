@@ -12,11 +12,19 @@ import (
 // the command-line tools:
 //
 //	rmat:scale=12,ef=16,seed=1
+//	rmat:scale=12,skew=0.7,seed=1
+//	rmat:scale=12,a=0.6,b=0.17,c=0.17,d=0.06,seed=1
 //	ba:n=10000,m=4,seed=1
 //	lfr:n=5000,mu=0.3,seed=1
 //	er:n=1000,p=0.01,seed=1
 //	sbm:blocks=4,size=100,pin=0.3,pout=0.01,seed=1
 //	caveman:cliques=10,size=6
+//	hub:n=16384,csize=64,hubs=16,stride=4,deg=512,seed=1
+//
+// For rmat, `skew` sets the A quadrant probability and splits the rest over
+// B/C/D in Graph500 proportions (gen.SetSkew; skew=0.57 is exactly
+// Graph500); explicit a/b/c/d override all four and must sum to 1. `hub` is
+// the planted-hub load-imbalance fixture (gen.PlantedHubs).
 //
 // The returned membership is the planted ground truth (nil for generators
 // without one).
@@ -77,8 +85,22 @@ func ParseSpec(spec string) (*graph.Graph, graph.Membership, error) {
 	case "rmat":
 		cfg := Graph500RMAT(i("scale", 12), int64(i("seed", 1)))
 		cfg.EdgeFactor = i("ef", 16)
+		if _, hasSkew := kv["skew"]; hasSkew && firstErr == nil {
+			if serr := cfg.SetSkew(f("skew", 0.57)); serr != nil && firstErr == nil {
+				firstErr = serr
+			}
+		}
+		cfg.A = f("a", cfg.A)
+		cfg.B = f("b", cfg.B)
+		cfg.C = f("c", cfg.C)
+		cfg.D = f("d", cfg.D)
 		if firstErr == nil {
 			g, err = RMAT(cfg)
+		}
+	case "hub":
+		if firstErr == nil {
+			g, truth, err = PlantedHubs(i("n", 16384), i("csize", 64), i("hubs", 16),
+				i("stride", 4), i("deg", 512), int64(i("seed", 1)))
 		}
 	case "ba":
 		if firstErr == nil {
@@ -107,7 +129,7 @@ func ParseSpec(spec string) (*graph.Graph, graph.Membership, error) {
 			g, truth, err = Caveman(i("cliques", 10), i("size", 6))
 		}
 	default:
-		return nil, nil, fmt.Errorf("gen: unknown generator %q (want rmat|ba|lfr|er|sbm|caveman)", kind)
+		return nil, nil, fmt.Errorf("gen: unknown generator %q (want rmat|ba|lfr|er|sbm|caveman|hub)", kind)
 	}
 	if firstErr != nil {
 		return nil, nil, firstErr

@@ -1,0 +1,133 @@
+package partition
+
+import "sort"
+
+// Post-Build ownership mutation. Build produces an immutable Layout shared
+// by every rank of an in-process world (and by the census reporting after
+// the run), but the mid-solve rebalancer transfers owned vertices between
+// ranks while the solve is running. A rank that migrates therefore first
+// detaches its Subgraph with CloneForMigration and then edits the clone
+// with the helpers below; the Layout the driver holds stays pristine.
+//
+// All helpers preserve the Subgraph invariants the solver relies on:
+// Owned and Ghosts stay sorted, AdjOwned/OwnedWDeg stay parallel to
+// Owned, and every Subscribers list stays sorted and duplicate-free.
+// Hubs never migrate, so the hub tables are shared, not copied.
+
+// CloneForMigration returns a copy of s whose ownership-mutable state —
+// Owned, OwnedWDeg, AdjOwned, Ghosts, and Subscribers — is detached from
+// the original. Adjacency slices themselves are shared (a migrating
+// vertex's arc list moves wholesale and is never edited in place), as are
+// the hub tables.
+func (s *Subgraph) CloneForMigration() *Subgraph {
+	c := *s
+	c.Owned = append([]int(nil), s.Owned...)
+	c.OwnedWDeg = append([]float64(nil), s.OwnedWDeg...)
+	c.AdjOwned = append([][]Arc(nil), s.AdjOwned...)
+	c.Ghosts = append([]int(nil), s.Ghosts...)
+	c.Subscribers = make(map[int][]int, len(s.Subscribers))
+	for v, subs := range s.Subscribers {
+		c.Subscribers[v] = append([]int(nil), subs...)
+	}
+	return &c
+}
+
+// OwnedIndex returns the position of v in Owned, or (i, false) with the
+// insertion point i when v is not owned here.
+func (s *Subgraph) OwnedIndex(v int) (int, bool) {
+	i := sort.SearchInts(s.Owned, v)
+	return i, i < len(s.Owned) && s.Owned[i] == v
+}
+
+// RemoveOwned detaches owned vertex v and returns its weighted degree and
+// adjacency. ok is false (and the subgraph unchanged) when v is not owned
+// here.
+func (s *Subgraph) RemoveOwned(v int) (wdeg float64, adj []Arc, ok bool) {
+	i, found := s.OwnedIndex(v)
+	if !found {
+		return 0, nil, false
+	}
+	wdeg, adj = s.OwnedWDeg[i], s.AdjOwned[i]
+	s.Owned = append(s.Owned[:i], s.Owned[i+1:]...)
+	s.OwnedWDeg = append(s.OwnedWDeg[:i], s.OwnedWDeg[i+1:]...)
+	s.AdjOwned = append(s.AdjOwned[:i], s.AdjOwned[i+1:]...)
+	return wdeg, adj, true
+}
+
+// InsertOwned adds vertex v with the given weighted degree and adjacency
+// at its sorted position. Inserting an already-owned vertex is a
+// programming error upstream; the helper keeps the list consistent by
+// replacing the entry in that case.
+func (s *Subgraph) InsertOwned(v int, wdeg float64, adj []Arc) {
+	i, found := s.OwnedIndex(v)
+	if found {
+		s.OwnedWDeg[i] = wdeg
+		s.AdjOwned[i] = adj
+		return
+	}
+	s.Owned = append(s.Owned, 0)
+	copy(s.Owned[i+1:], s.Owned[i:])
+	s.Owned[i] = v
+	s.OwnedWDeg = append(s.OwnedWDeg, 0)
+	copy(s.OwnedWDeg[i+1:], s.OwnedWDeg[i:])
+	s.OwnedWDeg[i] = wdeg
+	s.AdjOwned = append(s.AdjOwned, nil)
+	copy(s.AdjOwned[i+1:], s.AdjOwned[i:])
+	s.AdjOwned[i] = adj
+}
+
+// AddGhost records v as a ghost (sorted insert, no-op when present).
+func (s *Subgraph) AddGhost(v int) {
+	i := sort.SearchInts(s.Ghosts, v)
+	if i < len(s.Ghosts) && s.Ghosts[i] == v {
+		return
+	}
+	s.Ghosts = append(s.Ghosts, 0)
+	copy(s.Ghosts[i+1:], s.Ghosts[i:])
+	s.Ghosts[i] = v
+}
+
+// RemoveGhost drops v from the ghost list (no-op when absent).
+func (s *Subgraph) RemoveGhost(v int) {
+	i := sort.SearchInts(s.Ghosts, v)
+	if i < len(s.Ghosts) && s.Ghosts[i] == v {
+		s.Ghosts = append(s.Ghosts[:i], s.Ghosts[i+1:]...)
+	}
+}
+
+// SetSubscribers replaces the subscriber set of owned vertex v with the
+// given ranks, normalized to sorted order with duplicates and the
+// receiving rank's own index removed (a rank never subscribes to itself).
+func (s *Subgraph) SetSubscribers(v int, ranks []int) {
+	subs := append([]int(nil), ranks...)
+	sort.Ints(subs)
+	out := subs[:0]
+	for i, r := range subs {
+		if r == s.Rank || (i > 0 && subs[i-1] == r) {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		delete(s.Subscribers, v)
+		return
+	}
+	s.Subscribers[v] = out
+}
+
+// Subscribe adds rank r to the subscriber set of owned vertex v (sorted
+// insert, no-op when present or when r is this rank).
+func (s *Subgraph) Subscribe(v, r int) {
+	if r == s.Rank {
+		return
+	}
+	subs := s.Subscribers[v]
+	i := sort.SearchInts(subs, r)
+	if i < len(subs) && subs[i] == r {
+		return
+	}
+	subs = append(subs, 0)
+	copy(subs[i+1:], subs[i:])
+	subs[i] = r
+	s.Subscribers[v] = subs
+}

@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSubgraph() *Subgraph {
+	return &Subgraph{
+		Rank: 1, P: 4,
+		GlobalVertices: 16,
+		Owned:          []int{1, 5, 9, 13},
+		OwnedWDeg:      []float64{2, 3, 4, 5},
+		AdjOwned: [][]Arc{
+			{{To: 2, W: 1}, {To: 5, W: 1}},
+			{{To: 1, W: 1}, {To: 9, W: 2}},
+			{{To: 5, W: 2}, {To: 2, W: 2}},
+			{{To: 2, W: 5}},
+		},
+		Ghosts:      []int{2},
+		Subscribers: map[int][]int{5: {0, 2}},
+	}
+}
+
+func TestCloneForMigrationDetaches(t *testing.T) {
+	orig := testSubgraph()
+	want := testSubgraph() // reference copy for comparison
+	c := orig.CloneForMigration()
+
+	c.RemoveOwned(5)
+	c.InsertOwned(2, 7, []Arc{{To: 1, W: 7}})
+	c.AddGhost(6)
+	c.RemoveGhost(2)
+	c.Subscribe(9, 3)
+	c.SetSubscribers(13, []int{2, 2, 1, 0})
+
+	if !reflect.DeepEqual(orig.Owned, want.Owned) ||
+		!reflect.DeepEqual(orig.OwnedWDeg, want.OwnedWDeg) ||
+		!reflect.DeepEqual(orig.Ghosts, want.Ghosts) ||
+		!reflect.DeepEqual(orig.Subscribers, want.Subscribers) {
+		t.Fatalf("clone mutation leaked into the original:\n got %+v\nwant %+v", orig, want)
+	}
+}
+
+func TestRemoveInsertOwned(t *testing.T) {
+	s := testSubgraph().CloneForMigration()
+	wdeg, adj, ok := s.RemoveOwned(5)
+	if !ok || wdeg != 3 || len(adj) != 2 {
+		t.Fatalf("RemoveOwned(5) = %v, %v, %v", wdeg, adj, ok)
+	}
+	if _, _, ok := s.RemoveOwned(5); ok {
+		t.Fatal("second RemoveOwned(5) succeeded")
+	}
+	if _, _, ok := s.RemoveOwned(4); ok {
+		t.Fatal("RemoveOwned of a non-owned vertex succeeded")
+	}
+	if want := []int{1, 9, 13}; !reflect.DeepEqual(s.Owned, want) {
+		t.Fatalf("Owned = %v, want %v", s.Owned, want)
+	}
+
+	s.InsertOwned(6, 1.5, []Arc{{To: 1, W: 1.5}})
+	s.InsertOwned(0, 2.5, nil)
+	s.InsertOwned(15, 3.5, nil)
+	if want := []int{0, 1, 6, 9, 13, 15}; !reflect.DeepEqual(s.Owned, want) {
+		t.Fatalf("Owned = %v, want %v", s.Owned, want)
+	}
+	wantW := []float64{2.5, 2, 1.5, 4, 5, 3.5}
+	if !reflect.DeepEqual(s.OwnedWDeg, wantW) {
+		t.Fatalf("OwnedWDeg = %v, want %v (alignment broken)", s.OwnedWDeg, wantW)
+	}
+	if len(s.AdjOwned) != len(s.Owned) {
+		t.Fatalf("AdjOwned length %d, Owned length %d", len(s.AdjOwned), len(s.Owned))
+	}
+	if i, ok := s.OwnedIndex(6); !ok || s.AdjOwned[i][0].W != 1.5 {
+		t.Fatal("adjacency did not follow its vertex")
+	}
+}
+
+func TestGhostSet(t *testing.T) {
+	s := testSubgraph().CloneForMigration()
+	s.AddGhost(6)
+	s.AddGhost(0)
+	s.AddGhost(6) // duplicate: no-op
+	if want := []int{0, 2, 6}; !reflect.DeepEqual(s.Ghosts, want) {
+		t.Fatalf("Ghosts = %v, want %v", s.Ghosts, want)
+	}
+	s.RemoveGhost(2)
+	s.RemoveGhost(99) // absent: no-op
+	if want := []int{0, 6}; !reflect.DeepEqual(s.Ghosts, want) {
+		t.Fatalf("Ghosts = %v, want %v", s.Ghosts, want)
+	}
+}
+
+func TestSubscriberSet(t *testing.T) {
+	s := testSubgraph().CloneForMigration()
+	s.Subscribe(5, 3)
+	s.Subscribe(5, 0) // present: no-op
+	s.Subscribe(5, 1) // own rank: no-op
+	if want := []int{0, 2, 3}; !reflect.DeepEqual(s.Subscribers[5], want) {
+		t.Fatalf("Subscribers[5] = %v, want %v", s.Subscribers[5], want)
+	}
+	s.SetSubscribers(9, []int{3, 1, 0, 3, 0})
+	if want := []int{0, 3}; !reflect.DeepEqual(s.Subscribers[9], want) {
+		t.Fatalf("Subscribers[9] = %v, want %v", s.Subscribers[9], want)
+	}
+	s.SetSubscribers(9, []int{1}) // only own rank: entry removed
+	if _, ok := s.Subscribers[9]; ok {
+		t.Fatal("empty subscriber set kept its map entry")
+	}
+}

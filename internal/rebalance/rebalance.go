@@ -1,0 +1,174 @@
+// Package rebalance computes mid-solve vertex-migration plans from the
+// replicated per-rank work vector of the clustering loop.
+//
+// The paper balances load exactly once, statically, at partition time; but
+// Louvain convergence is skewed — communities collapse unevenly across
+// ranks, so the balance point moves during the solve (ROADMAP item 3;
+// Lu & Halappanavar and Sahu in PAPERS.md). The fused per-iteration
+// reduction already carries the full work vector to every rank, so each
+// rank can run the same pure planning function on the same inputs and
+// obtain the same plan with no extra agreement collective. That contract —
+// Plan is a pure function of (work, seed) — is the determinism anchor of
+// the whole migration protocol; see docs/PERFORMANCE.md.
+//
+// A plan speaks in abstract work units (the core's deterministic
+// arcs-scanned count), never in vertices: the donor rank alone translates
+// its side of the plan into concrete vertices, which is itself a pure
+// function of the donor's replicated-deterministic subgraph state.
+package rebalance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move directs From to transfer ownership of approximately Units work
+// units' worth of vertices to To. From and To are rank indices; Units is
+// always positive.
+type Move struct {
+	From, To int
+	Units    int64
+}
+
+// Policy turns a per-rank work vector into a migration plan.
+type Policy interface {
+	// Name is the registry key (flag value, trace events, benchmarks).
+	Name() string
+	// Plan returns the transfers for the given work vector (work[r] is the
+	// last iteration's work units on rank r). It MUST be a pure function of
+	// (work, seed): every rank evaluates it independently on the replicated
+	// vector, and all ranks must arrive at the identical plan. An empty
+	// plan means no migration this round.
+	Plan(work []int64, seed int64) []Move
+}
+
+// ByName resolves a registered policy. Valid names are "none", "greedy",
+// and "ideal".
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "", "greedy":
+		return greedy{}, nil
+	case "ideal":
+		return ideal{}, nil
+	case "none":
+		return none{}, nil
+	default:
+		return nil, fmt.Errorf("rebalance: unknown policy %q (want %v)", name, Names())
+	}
+}
+
+// Names lists the registered policy names.
+func Names() []string { return []string{"none", "greedy", "ideal"} }
+
+// none never migrates: the off-policy control arm of the ablation (runs
+// the trigger machinery but ships nothing).
+type none struct{}
+
+func (none) Name() string               { return "none" }
+func (none) Plan([]int64, int64) []Move { return nil }
+
+// greedy is the conservative production policy: it sheds work only from
+// ranks whose load exceeds the mean by more than greedySlackNum/Den
+// (10%), and only the excess above the mean, pairing the hottest donors
+// with the coldest receivers. It migrates the minimum volume that brings
+// every rank within the slack band, which keeps migration traffic — and
+// the risk of oscillation — low.
+type greedy struct{}
+
+// greedySlackNum/greedySlackDen define the tolerated overload band:
+// a rank within mean·(1+1/10) is left alone.
+const (
+	greedySlackNum = 1
+	greedySlackDen = 10
+)
+
+func (greedy) Name() string { return "greedy" }
+
+func (greedy) Plan(work []int64, seed int64) []Move {
+	return level(work, func(mean int64) int64 { return mean + mean*greedySlackNum/greedySlackDen })
+}
+
+// ideal is the oracle baseline in the style of the scheduler-simulator's
+// edf-lb/mine-lb/ideal-lb family: it re-splits the measured work exactly,
+// leveling every rank to the mean with no slack. It bounds the headroom a
+// smarter policy could still claim; migration traffic is charged to it
+// like to any other policy, so the bound is honest.
+type ideal struct{}
+
+func (ideal) Name() string { return "ideal" }
+
+func (ideal) Plan(work []int64, seed int64) []Move {
+	return level(work, func(mean int64) int64 { return mean })
+}
+
+// level builds the donor/receiver pairing shared by greedy and ideal:
+// ranks above threshold(mean) donate their excess over the mean, ranks
+// below the mean absorb up to their deficit. Donors are visited hottest
+// first, receivers coldest first, ties broken by rank index — all integer
+// comparisons, so the plan is identical on every rank.
+func level(work []int64, threshold func(mean int64) int64) []Move {
+	p := len(work)
+	if p < 2 {
+		return nil
+	}
+	var sum int64
+	for _, w := range work {
+		sum += w
+	}
+	mean := sum / int64(p)
+	if mean == 0 {
+		return nil
+	}
+	thr := threshold(mean)
+
+	type load struct {
+		rank  int
+		delta int64 // excess over mean (donors) or deficit below mean (receivers)
+	}
+	var donors, recvs []load
+	for r, w := range work {
+		switch {
+		case w > thr && w > mean:
+			donors = append(donors, load{rank: r, delta: w - mean})
+		case w < mean:
+			recvs = append(recvs, load{rank: r, delta: mean - w})
+		}
+	}
+	if len(donors) == 0 || len(recvs) == 0 {
+		return nil
+	}
+	sort.Slice(donors, func(i, j int) bool {
+		if donors[i].delta != donors[j].delta {
+			return donors[i].delta > donors[j].delta
+		}
+		return donors[i].rank < donors[j].rank
+	})
+	sort.Slice(recvs, func(i, j int) bool {
+		if recvs[i].delta != recvs[j].delta {
+			return recvs[i].delta > recvs[j].delta
+		}
+		return recvs[i].rank < recvs[j].rank
+	})
+
+	var plan []Move
+	di, ri := 0, 0
+	for di < len(donors) && ri < len(recvs) {
+		d, r := &donors[di], &recvs[ri]
+		units := d.delta
+		if r.delta < units {
+			units = r.delta
+		}
+		if units > 0 {
+			plan = append(plan, Move{From: d.rank, To: r.rank, Units: units})
+			d.delta -= units
+			r.delta -= units
+		}
+		if d.delta == 0 {
+			di++
+		}
+		if r.delta == 0 {
+			ri++
+		}
+	}
+	return plan
+}

@@ -1,0 +1,125 @@
+package rebalance
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustPolicy(t *testing.T, name string) Policy {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", name, err)
+	}
+	return p
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p := mustPolicy(t, name)
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p := mustPolicy(t, ""); p.Name() != "greedy" {
+		t.Errorf("empty name resolved to %q, want greedy", p.Name())
+	}
+	if _, err := ByName("edf"); err == nil {
+		t.Error("ByName(edf) succeeded, want error")
+	}
+}
+
+func TestNonePlansNothing(t *testing.T) {
+	p := mustPolicy(t, "none")
+	if plan := p.Plan([]int64{100, 1, 1, 1}, 1); plan != nil {
+		t.Errorf("none planned %v, want nil", plan)
+	}
+}
+
+// applyPlan simulates the transfers on a copy of the work vector.
+func applyPlan(work []int64, plan []Move) []int64 {
+	out := append([]int64(nil), work...)
+	for _, m := range plan {
+		out[m.From] -= m.Units
+		out[m.To] += m.Units
+	}
+	return out
+}
+
+func TestIdealLevelsToMean(t *testing.T) {
+	p := mustPolicy(t, "ideal")
+	work := []int64{400, 100, 80, 20}
+	plan := p.Plan(work, 1)
+	if len(plan) == 0 {
+		t.Fatal("ideal planned nothing for a 4:1 imbalance")
+	}
+	after := applyPlan(work, plan)
+	mean := int64(150)
+	for r, w := range after {
+		// Integer division leaves at most p units of remainder imbalance.
+		if w > mean+int64(len(work)) || (work[r] < mean && w > mean) {
+			t.Errorf("rank %d at %d after ideal plan, mean %d", r, w, mean)
+		}
+	}
+	// No rank that was below the mean ends above it.
+	for r, w := range after {
+		if work[r] <= mean && w > mean {
+			t.Errorf("receiver %d overfilled: %d > mean %d", r, w, mean)
+		}
+	}
+}
+
+func TestGreedyRespectsSlack(t *testing.T) {
+	p := mustPolicy(t, "greedy")
+	// Max within 10% of mean: no migration.
+	if plan := p.Plan([]int64{105, 100, 100, 100}, 1); plan != nil {
+		t.Errorf("greedy planned %v inside the slack band", plan)
+	}
+	// A clear hotspot: plan exists and only the hot rank donates.
+	work := []int64{400, 100, 100, 100}
+	plan := p.Plan(work, 1)
+	if len(plan) == 0 {
+		t.Fatal("greedy planned nothing for a hotspot")
+	}
+	for _, m := range plan {
+		if m.From != 0 {
+			t.Errorf("greedy moved from rank %d, want only rank 0", m.From)
+		}
+		if m.Units <= 0 {
+			t.Errorf("non-positive move units: %+v", m)
+		}
+	}
+	after := applyPlan(work, plan)
+	if after[0] != 175 { // mean of 700/4 = 175: donor sheds exactly its excess
+		t.Errorf("donor at %d after greedy plan, want 175", after[0])
+	}
+}
+
+func TestPlanIsPure(t *testing.T) {
+	work := []int64{977, 31, 402, 88, 640, 5, 5, 210}
+	for _, name := range Names() {
+		p := mustPolicy(t, name)
+		ref := p.Plan(work, 42)
+		for i := 0; i < 10; i++ {
+			if got := p.Plan(work, 42); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s: plan differs between calls: %v vs %v", name, got, ref)
+			}
+		}
+	}
+}
+
+func TestDegenerateVectors(t *testing.T) {
+	for _, name := range []string{"greedy", "ideal"} {
+		p := mustPolicy(t, name)
+		for _, work := range [][]int64{
+			nil,
+			{100},            // single rank
+			{0, 0, 0, 0},     // no work at all
+			{50, 50, 50, 50}, // perfectly balanced
+		} {
+			if plan := p.Plan(work, 1); len(plan) != 0 {
+				t.Errorf("%s planned %v for %v", name, plan, work)
+			}
+		}
+	}
+}

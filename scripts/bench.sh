@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-5}"
+PR="${PR:-7}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
@@ -35,6 +35,13 @@ go test -run '^$' -bench '^(BenchmarkIngestEdgeList|BenchmarkIngestSharded)$' \
     -benchtime "$INGEST_TIME" -benchmem ./internal/graph/ | tee -a "$raw" >&2
 go test -run '^$' -bench '^BenchmarkPartitionBuild$' \
     -benchtime "$INGEST_TIME" -benchmem ./internal/partition/ | tee -a "$raw" >&2
+
+echo "== rebalance macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
+# Off/Greedy/Ideal on the planted-hub workload; sim-ms/op (cumulative
+# simulated parallel time) is the headline number — the greedy policy's win
+# over the static baseline is the PR-7 acceptance metric.
+go test -run '^$' -bench '^BenchmarkRebalance' -benchtime "$MACRO_TIME" -benchmem \
+    ./internal/core/ | tee -a "$raw" >&2
 
 echo "== macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 go test -run '^$' -bench '^(BenchmarkDistributedLouvain|BenchmarkFig8Breakdown)$' \

@@ -18,6 +18,10 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== bench smoke (1 iteration per benchmark) =="
+# The rebalance macro benchmarks are the PR-7 acceptance metric: fail loudly
+# if they ever disappear from the discovery set rather than silently passing.
+go test -list '^BenchmarkRebalanceGreedy$' -run '^$' ./internal/core | grep '^BenchmarkRebalanceGreedy$' > /dev/null \
+    || { echo "error: BenchmarkRebalanceGreedy missing from internal/core" >&2; exit 1; }
 go test -run '^$' -bench . -benchtime 1x -benchmem ./... > /dev/null
 
 echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
