@@ -82,6 +82,7 @@ func TestFixtures(t *testing.T) {
 	fixtures := []string{
 		"badcollective", "badtag", "baderr", "badalias", "badprint", "badpool",
 		"badmaporder", "badshare", "badnondet", "badnoalloc", "stalesuppress",
+		"badserver",
 	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {

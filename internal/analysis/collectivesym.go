@@ -79,6 +79,10 @@ var collectiveNames = map[string]bool{
 	"MigrationExchangeSeq":   true,
 	"AllreduceIterStatsWork": true,
 	"AllreduceInt64SliceMax": true,
+	// Resident serving (PR 8): every rank of a resident world must enter
+	// the per-batch drift reduction, or the update call wedges with some
+	// ranks inside the collective and the rest back in their command loop.
+	"AllreduceUpdateStats": true,
 }
 
 // rankNames are identifiers assumed to hold a rank by naming convention.

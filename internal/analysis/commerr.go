@@ -60,6 +60,10 @@ var commErrOps = map[string]bool{
 	// the world's ownership directories divergent — worse than a crash.
 	"MigrationExchange": true, "MigrationExchangeSeq": true,
 	"AllreduceIterStatsWork": true, "AllreduceInt64SliceMax": true,
+	// Resident serving (PR 8): the fused drift reduction behind every
+	// incremental update batch. A dropped error here leaves the drift
+	// accounting divergent across ranks, so the fallback decision splits.
+	"AllreduceUpdateStats": true,
 }
 
 // graphIOOps are the graph package's IO entry points. The parallel ingest

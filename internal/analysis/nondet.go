@@ -57,7 +57,10 @@ var nondetRandCtors = map[string]bool{
 
 // nondetExemptPaths are the package suffixes allowed to touch wall clock
 // and global randomness (see the analyzer doc).
-var nondetExemptPaths = []string{"internal/trace", "internal/expt", "internal/comm"}
+// internal/loadgen is exempt by design: its pacing (Poisson sleeps) and
+// latency measurements are wall-clock by nature, while everything that
+// must be reproducible lives in the clock-free Plan/Replay layer.
+var nondetExemptPaths = []string{"internal/trace", "internal/expt", "internal/comm", "internal/loadgen"}
 
 func nondetExempt(path string) bool {
 	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") {

@@ -1,0 +1,54 @@
+package comm
+
+import (
+	"repro/internal/wire"
+)
+
+// UpdateStats is the fused per-update-batch reduction of the resident
+// clustering service (internal/core's Session.ApplyUpdates): one collective
+// carries everything the drift tracker needs, the way AllreduceIterStats
+// carries the per-iteration scalars of the batch solver.
+type UpdateStats struct {
+	// Moved is the number of vertices that changed community while
+	// re-clustering the batch (world sum).
+	Moved int64
+	// Touched is the number of distinct vertices the incremental sweep
+	// re-examined (world sum; each vertex counted by its owner).
+	Touched int64
+	// Q is the modularity contribution (world sum). The combine follows
+	// AllreduceFloat64Sum's tree exactly, so the fused Q is bit-identical
+	// to the standalone float reduction.
+	Q float64
+}
+
+const updateStatsWireLen = 24 // 2×int64 + 1×float64, fixed-width
+
+func combineUpdateStats(a, b []byte) []byte {
+	ra, rb := wire.NewReader(a), wire.NewReader(b)
+	s := wire.NewBuffer(updateStatsWireLen)
+	s.PutI64(ra.I64() + rb.I64())
+	s.PutI64(ra.I64() + rb.I64())
+	// Same operand order as AllreduceFloat64Sum's combiner (accumulated +
+	// received) over the same reduction tree, so the fused Q is
+	// bit-identical to the standalone float sum.
+	s.PutF64(ra.F64() + rb.F64())
+	return s.Bytes()
+}
+
+// AllreduceUpdateStats reduces v across all ranks in a single collective:
+// component-wise sum/sum/sum. Like every collective, all ranks must call it
+// in the same program order; the serving layer issues exactly one per
+// applied update batch.
+func AllreduceUpdateStats(c Comm, v UpdateStats) (UpdateStats, error) {
+	buf := wire.NewBuffer(updateStatsWireLen)
+	buf.PutI64(v.Moved)
+	buf.PutI64(v.Touched)
+	buf.PutF64(v.Q)
+	out, err := AllreduceBytes(c, buf.Bytes(), combineUpdateStats)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	rd := wire.NewReader(out)
+	res := UpdateStats{Moved: rd.I64(), Touched: rd.I64(), Q: rd.F64()}
+	return res, rd.Err()
+}

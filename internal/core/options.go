@@ -138,6 +138,22 @@ type Options struct {
 	// deterministic plan contract (same trigger + same seed + same work
 	// vector ⇒ same plan on every rank). Defaults to 1.
 	RebalanceSeed int64
+	// UpdateKHops bounds the incremental re-clustering of a Session update:
+	// the sweep queue is seeded with the vertices within this many hops of
+	// any changed edge's endpoints (the endpoints themselves are hop 0).
+	// <= 0 means 2. Larger values re-examine more of the graph per update —
+	// closer to full-solve quality, further from full-solve cost.
+	UpdateKHops int
+	// DriftQ is the cumulative-|ΔQ| drift threshold of the incremental
+	// path: once the modularity movement accumulated across incremental
+	// update batches (since the last full solve) exceeds it, ApplyUpdates
+	// reports NeedFull and the driver should re-solve from scratch.
+	// <= 0 means 0.05.
+	DriftQ float64
+	// DriftTouched is the companion touched-vertex drift threshold: the
+	// cumulative fraction of vertices re-examined by incremental sweeps
+	// since the last full solve. <= 0 means 0.35.
+	DriftTouched float64
 	// SequentialCollectives routes every exchange through the sequential
 	// baseline collectives (comm.AlltoallvSeq, four unfused per-iteration
 	// allreduces) instead of the overlapped engine. Results are
@@ -211,6 +227,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.RebalanceSeed == 0 {
 		o.RebalanceSeed = 1
+	}
+	if o.UpdateKHops <= 0 {
+		o.UpdateKHops = 2
+	}
+	if o.DriftQ <= 0 {
+		o.DriftQ = 0.05
+	}
+	if o.DriftTouched <= 0 {
+		o.DriftTouched = 0.35
 	}
 	return o, nil
 }

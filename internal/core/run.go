@@ -15,6 +15,16 @@ import (
 // after which a clustering stage stops (see cluster).
 const innerStallLimit = 3
 
+// doSweep dispatches between the batch sweep and an incremental session's
+// active-set-restricted sweep (session.go). Batch runs leave sweepFn nil, so
+// their path is untouched.
+func (s *stage) doSweep() ([]hubProposal, int) {
+	if s.sweepFn != nil {
+		return s.sweepFn()
+	}
+	return s.sweep()
+}
+
 // cluster runs the parallel local clustering loop of one stage until no
 // vertex moves anywhere in the world (or the iteration cap is reached).
 // Every iteration follows the paper's Algorithm 2: refresh community
@@ -50,7 +60,7 @@ func (s *stage) cluster() (stageResult, error) {
 			return res, err
 		}
 		s.tm.Start(trace.FindBest)
-		props, movedLocal := s.sweep()
+		props, movedLocal := s.doSweep()
 		s.tm.Start(trace.BroadcastDelegates)
 		hubMoved, err := s.delegateExchange(props)
 		if err != nil {
@@ -369,125 +379,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 // runRank is the per-rank algorithm: stage 1 with delegates, then
 // merge/recluster rounds without delegates until modularity stops improving
-// (Algorithm 1).
+// (Algorithm 1). The body lives in Session.solve (session.go); the batch
+// path drives the Session without installing its resident serving state, so
+// batch results and message schedules are unchanged.
 func runRank(c comm.Comm, sg *partition.Subgraph, opt Options) (*rankOut, error) {
-	if opt.CommDeadline > 0 {
-		// Endpoint-wide default deadline: every Recv of the run — including
-		// those inside the collectives — fails with comm.ErrTimeout instead
-		// of blocking forever once a peer stops responding. Transports
-		// without deadline support keep unbounded blocking.
-		comm.SetRecvTimeout(c, opt.CommDeadline)
-	}
-	p := c.Size()
-	tracked := append([]int(nil), sg.Owned...)
-	for _, h := range sg.Hubs {
-		if h%p == c.Rank() {
-			tracked = append(tracked, h)
-		}
-	}
-	cur := append([]int(nil), tracked...) // current coarse vertex of each tracked original vertex
-
-	st := newStage(c, sg, opt)
-	cs := st
-	// cs tracks the live stage; close releases its intra-rank worker
-	// goroutines (the stage's state stays readable for label resolution).
-	defer func() { cs.close() }()
-	t1 := trace.Now()
-	res1, err := st.cluster()
+	ses, err := NewSession(c, sg, opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &rankOut{
-		tracked:  tracked,
-		stage1:   res1,
-		qtrace:   append([]float64(nil), res1.QTrace...),
-		finalQ:   res1.Q,
-		outer:    1,
-		stage1NS: int64(trace.Since(t1)),
-		sim1NS:   res1.SimNS,
-		comm1NS:  res1.CommSimNS,
-		bd:       st.bd,
-		busyBD:   st.workBreakdown(),
-	}
-	out.workUnits += st.work
-	out.rebEvents += st.reb.events
-	out.migrated += st.reb.migrated
-
-	// Current global vertex count (needed to detect a no-op merge).
-	ownCount, err := comm.AllreduceInt64Sum(c, int64(len(sg.Owned)))
-	if err != nil {
-		return nil, err
-	}
-	curCount := int(ownCount) + len(sg.Hubs)
-
-	t2 := trace.Now()
-	defer func() { out.stage2NS = int64(trace.Since(t2)) }()
-
-	prevQ := res1.Q
-	snapshot := func() {
-		if opt.TrackLevels {
-			out.levels = append(out.levels, append([]int(nil), cur...))
-		}
-	}
-	for {
-		if opt.MaxOuterLevels > 0 && out.outer >= opt.MaxOuterLevels {
-			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
-			if err != nil {
-				return nil, err
-			}
-			out.labels = cur
-			snapshot()
-			return out, nil
-		}
-		newSG, k, err := cs.merge()
-		if err != nil {
-			return nil, err
-		}
-		cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.dense[cs.comm[x]]) }, opt.SequentialCollectives)
-		if err != nil {
-			return nil, err
-		}
-		snapshot()
-		if k <= 1 || k == curCount {
-			// Fully merged, or merging achieved nothing: done.
-			out.labels = cur
-			return out, nil
-		}
-		curCount = k
-
-		// Merged stages run with migration off: community ownership (c%p)
-		// already spreads the coarse graph evenly, and the few remaining
-		// iterations cannot amortize a migration event's traffic — measured
-		// on the planted-hub benchmark, coarse-stage migration only ever
-		// added cost. Work units still accrue to the run's BalanceRatio.
-		opt2 := opt
-		opt2.RebalanceRatio = 0
-		st2 := newStage(c, newSG, opt2)
-		r2, err := st2.cluster()
-		if err != nil {
-			st2.close()
-			return nil, err
-		}
-		cs.close()
-		cs = st2
-		out.workUnits += st2.work
-		out.rebEvents += st2.reb.events
-		out.migrated += st2.reb.migrated
-		out.outer++
-		out.qtrace = append(out.qtrace, r2.QTrace...)
-		out.finalQ = r2.Q
-		out.sim2NS += r2.SimNS
-		out.comm2NS += r2.CommSimNS
-		if r2.Q-prevQ < opt.MinGain {
-			// Keep this stage's (possibly tiny) improvement, then stop.
-			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
-			if err != nil {
-				return nil, err
-			}
-			out.labels = cur
-			snapshot()
-			return out, nil
-		}
-		prevQ = r2.Q
-	}
+	defer ses.Close()
+	return ses.solve()
 }

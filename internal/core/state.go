@@ -103,6 +103,22 @@ type stage struct {
 	hubKernel func(chunk, worker int)
 	hubChunks int
 
+	// Incremental-session hooks (session.go). All nil/empty in batch runs,
+	// so the batch solver's behavior and message schedule are untouched.
+	//
+	// sweepFn, when set, replaces sweep() in the clustering loop (the
+	// session points it at an active-set-restricted sweep). hubActive, when
+	// non-nil, restricts hubKernel to the flagged hub indices — inactive
+	// hubs propose negInf and therefore never move. movedHubs records the
+	// hub indices delegateExchange moved this iteration (replicated: every
+	// rank applies identical hub moves). onGhostChange is called by
+	// ghostSwap for each ghost whose label changed (the session activates
+	// the ghost's local neighbors with it).
+	sweepFn       func() ([]hubProposal, int)
+	hubActive     []bool
+	movedHubs     []int
+	onGhostChange func(v int)
+
 	// qKernel/qChunks: the globalModularity arc-scan kernel over the
 	// concatenated owned+hub index space, likewise built once per stage.
 	qKernel func(chunk, worker int)
@@ -230,6 +246,14 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		w := int64(0)
 		acc := s.accs[worker]
 		for i := lo; i < hi; i++ {
+			if s.hubActive != nil && !s.hubActive[i] {
+				// Incremental sessions restrict proposals to active hubs; a
+				// negInf proposal never wins the reduction, so inactive hubs
+				// stay put without perturbing the collective schedule.
+				w++
+				s.props[i] = hubProposal{improvement: negInf, target: int(s.comm[s.sg.Hubs[i]])}
+				continue
+			}
 			w += int64(len(s.sg.AdjHub[i])) + 1
 			s.props[i] = s.hubProposal(s.sg.Hubs[i], s.sg.HubWDeg[i], s.sg.AdjHub[i], acc)
 		}

@@ -172,6 +172,7 @@ func (s *stage) delegateExchange(props []hubProposal) (int, error) {
 	var rd wire.Reader
 	rd.Reset(win)
 	moved := 0
+	s.movedHubs = s.movedHubs[:0]
 	for i, h := range s.sg.Hubs {
 		imp := rd.F64()
 		target := int(rd.Varint())
@@ -188,6 +189,7 @@ func (s *stage) delegateExchange(props []hubProposal) (int, error) {
 		}
 		k := s.sg.HubWDeg[i]
 		s.comm[h] = int32(target)
+		s.movedHubs = append(s.movedHubs, i)
 		if s.cached[cur] {
 			s.tot[cur] -= k
 			s.size[cur]--
@@ -289,6 +291,9 @@ func (s *stage) ghostSwap() error {
 		for rd.Remaining() > 0 {
 			v := int(rd.Varint())
 			c := int32(rd.Varint())
+			if s.onGhostChange != nil && s.comm[v] != c {
+				s.onGhostChange(v)
+			}
 			s.comm[v] = c
 			recvd++
 		}

@@ -1,0 +1,514 @@
+// Package dserver hosts a resident clustering service: a world of ranks
+// that stays up after the initial solve, keeping the partitioned graph and
+// the converged communities in memory, and answering queries and edge
+// updates without re-ingesting anything.
+//
+// The driver (World) owns the authoritative edge ledger and the public API;
+// each rank runs a command loop around a core.Session. Queries that only
+// need replicated or owner-local state (community-of-vertex, modularity)
+// touch a single rank; updates are replicated batches that every rank
+// applies through Session.ApplyUpdates, which re-clusters incrementally
+// from the vertices within UpdateKHops of the changed edges. When the
+// session reports drift past the configured thresholds the world falls
+// back to a full solve (the quality oracle), in the same Update call when
+// AutoResolve is set.
+//
+// All public methods are safe for concurrent use; the world serializes
+// them so each replicated command reaches every rank exactly once and in
+// the same order.
+package dserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Options configures a World.
+type Options struct {
+	// Core is passed to every rank's core.Session. P must match the world
+	// size (0 adopts P below). DHigh <= 0 gets the same default core.Run
+	// applies: max(P, 4*arcs/vertices).
+	Core core.Options
+	// P is the number of resident ranks.
+	P int
+	// AutoResolve makes Update run the full-solve fallback in the same
+	// call whenever the incremental pass crosses a drift threshold. When
+	// false the caller sees NeedFull and decides when to call Resolve.
+	AutoResolve bool
+}
+
+// Stats is a snapshot of the world's serving counters.
+type Stats struct {
+	Batches     int64 // update batches applied
+	Incremental int64 // batches answered by the incremental path alone
+	Full        int64 // full-solve fallbacks (including explicit Resolve calls)
+	Ops         int64 // edge operations applied
+	Edges       int64 // current edge count in the ledger
+	Modularity  float64
+	DriftQ      float64
+	DriftTouch  float64
+}
+
+// UpdateOutcome reports one Update call.
+type UpdateOutcome struct {
+	core.UpdateResult
+	// Full is true when this call ran the full-solve fallback (AutoResolve).
+	Full bool
+}
+
+// Op is one requested edge mutation. Inserts carry W > 0 and accumulate
+// onto an existing edge; deletes ignore W (the ledger supplies the full
+// current weight) and remove the edge entirely.
+type Op struct {
+	U, V int
+	W    float64
+	Del  bool
+}
+
+type cmdKind int
+
+const (
+	cmdCommunity cmdKind = iota
+	cmdNeighborhood
+	cmdUpdate
+	cmdSolve
+	cmdTracked
+	cmdStats
+)
+
+type rankReply struct {
+	rank     int
+	err      error
+	res      core.UpdateResult
+	comm     int
+	ok       bool
+	arcs     []partition.Arc
+	vertices []int
+	labels   []int
+	q        float64
+	dq       float64
+	dtouch   float64
+}
+
+type command struct {
+	kind  cmdKind
+	v     int
+	ops   []core.EdgeOp
+	reply chan rankReply
+}
+
+// World is the resident service: p rank goroutines inside a comm.RunWorld,
+// plus the driver state (edge ledger, counters) guarded by mu.
+type World struct {
+	p           int
+	n           int
+	autoResolve bool
+
+	mu     sync.Mutex
+	cmds   []chan *command
+	edges  map[uint64]float64
+	stats  Stats
+	closed bool
+	failed error // sticky: first rank error wires the world shut
+
+	runErr chan error
+}
+
+// New builds the world from g, solves it, and leaves the ranks resident.
+// It returns once every rank has converged and is accepting commands.
+func New(g *graph.Graph, opt Options) (*World, error) {
+	p := opt.P
+	if p <= 0 {
+		p = opt.Core.P
+	}
+	if p <= 0 {
+		p = 1
+	}
+	copt := opt.Core
+	copt.P = p
+	if copt.DHigh <= 0 {
+		// Mirror core.Run's default so a served world and a batch run over
+		// the same graph see the same partition (and the same answer).
+		copt.DHigh = p
+		if g.NumVertices() > 0 {
+			if floor := 4 * int(g.NumArcs()) / g.NumVertices(); floor > copt.DHigh {
+				copt.DHigh = floor
+			}
+		}
+	}
+	layout, err := partition.Build(g, partition.Options{
+		P: p, Kind: copt.Partitioning, DHigh: copt.DHigh, Workers: copt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	w := &World{
+		p:           p,
+		n:           g.NumVertices(),
+		autoResolve: opt.AutoResolve,
+		cmds:        make([]chan *command, p),
+		edges:       make(map[uint64]float64, g.NumEdges()),
+		runErr:      make(chan error, 1),
+	}
+	for _, e := range g.Edges() {
+		w.edges[edgeKey(e.U, e.V)] += e.W
+	}
+	for r := range w.cmds {
+		w.cmds[r] = make(chan *command, 1)
+	}
+
+	ready := make(chan error, p)
+	go func() {
+		w.runErr <- comm.RunWorld(p, func(c comm.Comm) error {
+			return w.rankLoop(c, layout, copt, ready)
+		})
+	}()
+	for r := 0; r < p; r++ {
+		if err := <-ready; err != nil {
+			// Drain the world: close the command channels so healthy ranks
+			// exit their loops, then wait for RunWorld to join.
+			w.mu.Lock()
+			w.shutdownLocked()
+			w.mu.Unlock()
+			<-w.runErr
+			return nil, err
+		}
+	}
+	w.mu.Lock()
+	w.refreshStatsLocked()
+	w.mu.Unlock()
+	return w, nil
+}
+
+func (w *World) rankLoop(c comm.Comm, layout *partition.Layout, copt core.Options, ready chan<- error) error {
+	rank := c.Rank()
+	ses, err := core.NewSession(c, layout.Parts[rank].CloneForServing(), copt)
+	if err != nil {
+		ready <- err
+		return err
+	}
+	defer ses.Close()
+	if err := ses.Solve(); err != nil {
+		ready <- err
+		return err
+	}
+	ready <- nil
+	for cmd := range w.cmds[rank] {
+		rep := rankReply{rank: rank, q: ses.Modularity()}
+		switch cmd.kind {
+		case cmdCommunity:
+			rep.comm, rep.ok = ses.CommunityOf(cmd.v)
+		case cmdNeighborhood:
+			rep.arcs = ses.NeighborhoodOf(cmd.v)
+		case cmdUpdate:
+			rep.res, rep.err = ses.ApplyUpdates(cmd.ops)
+			rep.q = ses.Modularity()
+		case cmdSolve:
+			rep.err = ses.Solve()
+			rep.q = ses.Modularity()
+		case cmdTracked:
+			rep.vertices, rep.labels = ses.Tracked()
+		case cmdStats:
+			rep.dq, rep.dtouch = ses.Drift()
+		}
+		cmd.reply <- rep
+		if rep.err != nil {
+			return rep.err
+		}
+	}
+	return nil
+}
+
+// broadcastLocked sends cmd to every rank and collects all replies in rank
+// order. Collective commands (update, solve) require this shape: every rank
+// must enter the collective, so the sends all happen before any wait.
+func (w *World) broadcastLocked(kind cmdKind, v int, ops []core.EdgeOp) ([]rankReply, error) {
+	cmd := &command{kind: kind, v: v, ops: ops, reply: make(chan rankReply, w.p)}
+	for _, ch := range w.cmds {
+		ch <- cmd
+	}
+	reps := make([]rankReply, w.p)
+	var firstErr error
+	for i := 0; i < w.p; i++ {
+		rep := <-cmd.reply
+		reps[rep.rank] = rep
+		if rep.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dserver: rank %d: %w", rep.rank, rep.err)
+		}
+	}
+	if firstErr != nil {
+		// A rank that errored has left its command loop; the world cannot
+		// run further collectives. Latch the failure and drain.
+		w.failed = firstErr
+		w.shutdownLocked()
+	}
+	return reps, firstErr
+}
+
+// askLocked sends cmd to a single rank and waits for its reply. Only valid
+// for commands that perform no collectives.
+func (w *World) askLocked(rank int, kind cmdKind, v int) rankReply {
+	cmd := &command{kind: kind, v: v, reply: make(chan rankReply, 1)}
+	w.cmds[rank] <- cmd
+	return <-cmd.reply
+}
+
+func (w *World) guardLocked() error {
+	if w.failed != nil {
+		return w.failed
+	}
+	if w.closed {
+		return fmt.Errorf("dserver: world closed")
+	}
+	return nil
+}
+
+// P returns the world size.
+func (w *World) P() int { return w.p }
+
+// NumVertices returns the (fixed) vertex-ID space size.
+func (w *World) NumVertices() int { return w.n }
+
+// CommunityOf returns vertex v's current community label (the representative
+// vertex of its community). The owner rank v mod p answers from memory.
+func (w *World) CommunityOf(v int) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= w.n {
+		return 0, fmt.Errorf("dserver: vertex %d out of range [0,%d)", v, w.n)
+	}
+	rep := w.askLocked(v%w.p, cmdCommunity, v)
+	if !rep.ok {
+		return 0, fmt.Errorf("dserver: rank %d does not own vertex %d", v%w.p, v)
+	}
+	return rep.comm, nil
+}
+
+// Neighborhood returns vertex v's current adjacency, merged across ranks
+// (a hub's arcs are sharded; a low vertex lives wholly on its owner) and
+// normalized to one arc per neighbor, sorted by target.
+func (w *World) Neighborhood(v int) ([]partition.Arc, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return nil, err
+	}
+	if v < 0 || v >= w.n {
+		return nil, fmt.Errorf("dserver: vertex %d out of range [0,%d)", v, w.n)
+	}
+	reps, err := w.broadcastLocked(cmdNeighborhood, v, nil)
+	if err != nil {
+		return nil, err
+	}
+	sum := make(map[int]float64)
+	for _, rep := range reps {
+		for _, a := range rep.arcs {
+			sum[a.To] += a.W
+		}
+	}
+	arcs := make([]partition.Arc, 0, len(sum))
+	for to, wt := range sum {
+		arcs = append(arcs, partition.Arc{To: to, W: wt})
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].To < arcs[j].To })
+	return arcs, nil
+}
+
+// Modularity returns the current global modularity (replicated state; rank
+// 0 answers).
+func (w *World) Modularity() (float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return 0, err
+	}
+	return w.askLocked(0, cmdStats, 0).q, nil
+}
+
+// Membership assembles the full current membership from every rank's
+// tracked vertices, normalized to compact community IDs.
+func (w *World) Membership() (graph.Membership, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return nil, err
+	}
+	reps, err := w.broadcastLocked(cmdTracked, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := make(graph.Membership, w.n)
+	for i := range m {
+		m[i] = -1
+	}
+	for _, rep := range reps {
+		for i, v := range rep.vertices {
+			m[v] = rep.labels[i]
+		}
+	}
+	for v, c := range m {
+		if c < 0 {
+			return nil, fmt.Errorf("dserver: vertex %d reported by no rank", v)
+		}
+	}
+	m.Normalize()
+	return m, nil
+}
+
+// Update validates ops against the edge ledger, applies them on every rank
+// as one replicated incremental batch, and (with AutoResolve) runs the
+// full-solve fallback when drift crosses a threshold.
+func (w *World) Update(ops []Op) (UpdateOutcome, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return UpdateOutcome{}, err
+	}
+	eops, commit, err := w.stageLocked(ops)
+	if err != nil {
+		return UpdateOutcome{}, err
+	}
+	reps, err := w.broadcastLocked(cmdUpdate, 0, eops)
+	if err != nil {
+		return UpdateOutcome{}, err
+	}
+	commit()
+	out := UpdateOutcome{UpdateResult: reps[0].res}
+	w.stats.Batches++
+	w.stats.Ops += int64(len(eops))
+	if out.NeedFull && w.autoResolve {
+		if _, err := w.broadcastLocked(cmdSolve, 0, nil); err != nil {
+			return UpdateOutcome{}, err
+		}
+		out.Full = true
+		w.stats.Full++
+	} else {
+		w.stats.Incremental++
+	}
+	w.refreshStatsLocked()
+	return out, nil
+}
+
+// Resolve forces the full-solve fallback now, resetting drift.
+func (w *World) Resolve() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.guardLocked(); err != nil {
+		return err
+	}
+	if _, err := w.broadcastLocked(cmdSolve, 0, nil); err != nil {
+		return err
+	}
+	w.stats.Full++
+	w.refreshStatsLocked()
+	return nil
+}
+
+// stageLocked validates ops against the ledger and prepares the replicated
+// EdgeOp batch: deletes are filled with the edge's full current weight.
+// Nothing is committed until the ranks accept the batch; commit applies the
+// staged ledger mutations.
+func (w *World) stageLocked(ops []Op) ([]core.EdgeOp, func(), error) {
+	type entry struct {
+		w  float64
+		ok bool
+	}
+	overlay := make(map[uint64]entry)
+	get := func(k uint64) (float64, bool) {
+		if e, hit := overlay[k]; hit {
+			return e.w, e.ok
+		}
+		wt, ok := w.edges[k]
+		return wt, ok
+	}
+	eops := make([]core.EdgeOp, len(ops))
+	for i, op := range ops {
+		if op.U < 0 || op.U >= w.n || op.V < 0 || op.V >= w.n {
+			return nil, nil, fmt.Errorf("dserver: op %d: vertex out of range [0,%d)", i, w.n)
+		}
+		if op.U == op.V {
+			return nil, nil, fmt.Errorf("dserver: op %d: self-loop %d", i, op.U)
+		}
+		k := edgeKey(op.U, op.V)
+		if op.Del {
+			cur, ok := get(k)
+			if !ok {
+				return nil, nil, fmt.Errorf("dserver: op %d: delete of absent edge (%d,%d)", i, op.U, op.V)
+			}
+			overlay[k] = entry{}
+			eops[i] = core.EdgeOp{U: op.U, V: op.V, W: cur, Del: true}
+			continue
+		}
+		if op.W <= 0 {
+			return nil, nil, fmt.Errorf("dserver: op %d: insert weight %g, want > 0", i, op.W)
+		}
+		cur, _ := get(k)
+		overlay[k] = entry{w: cur + op.W, ok: true}
+		eops[i] = core.EdgeOp{U: op.U, V: op.V, W: op.W}
+	}
+	commit := func() {
+		for k, e := range overlay {
+			if e.ok {
+				w.edges[k] = e.w
+			} else {
+				delete(w.edges, k)
+			}
+		}
+	}
+	return eops, commit, nil
+}
+
+// Stats returns a snapshot of the serving counters.
+func (w *World) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+func (w *World) refreshStatsLocked() {
+	rep := w.askLocked(0, cmdStats, 0)
+	w.stats.Modularity = rep.q
+	w.stats.DriftQ = rep.dq
+	w.stats.DriftTouch = rep.dtouch
+	w.stats.Edges = int64(len(w.edges))
+}
+
+// Close shuts the world down and waits for every rank to exit.
+func (w *World) Close() error {
+	w.mu.Lock()
+	already := w.closed
+	w.shutdownLocked()
+	w.mu.Unlock()
+	if already {
+		return nil
+	}
+	return <-w.runErr
+}
+
+func (w *World) shutdownLocked() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, ch := range w.cmds {
+		close(ch)
+	}
+}
+
+// edgeKey packs an undirected edge into a map key (low vertex first).
+func edgeKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}

@@ -1,0 +1,394 @@
+package dserver
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the dserver protocol golden files")
+
+// fixtureGraph is the deterministic graph behind the golden fixtures and
+// most tests: 5 cliques of 6 vertices joined in a ring.
+func fixtureGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.Caveman(5, 6)
+	if err != nil {
+		t.Fatalf("caveman: %v", err)
+	}
+	return g
+}
+
+func newWorld(t *testing.T, g *graph.Graph, opt Options) *World {
+	t.Helper()
+	w, err := New(g, opt)
+	if err != nil {
+		t.Fatalf("dserver.New: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return w
+}
+
+// TestWorldMatchesBatchRun pins the resident world's converged state to the
+// batch pipeline: same membership, same modularity bits.
+func TestWorldMatchesBatchRun(t *testing.T) {
+	g := fixtureGraph(t)
+	for _, p := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			res, err := core.Run(g, core.Options{P: p})
+			if err != nil {
+				t.Fatalf("core.Run: %v", err)
+			}
+			w := newWorld(t, g, Options{P: p})
+			m, err := w.Membership()
+			if err != nil {
+				t.Fatalf("membership: %v", err)
+			}
+			if len(m) != len(res.Membership) {
+				t.Fatalf("membership length %d, want %d", len(m), len(res.Membership))
+			}
+			for v := range m {
+				if m[v] != res.Membership[v] {
+					t.Fatalf("vertex %d: community %d, want %d", v, m[v], res.Membership[v])
+				}
+			}
+			q, err := w.Modularity()
+			if err != nil {
+				t.Fatalf("modularity: %v", err)
+			}
+			// The session recomputes Q over the projected resident stage, so
+			// the summation order can differ from the batch pipeline's by an
+			// ulp; the value itself must agree.
+			if d := q - res.Modularity; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("modularity %x, want %x (|diff| %g)", q, res.Modularity, d)
+			}
+			// CommunityOf answers must be consistent with the assembled
+			// membership: same label for every vertex of a community.
+			rep := make(map[int]int)
+			for v := 0; v < g.NumVertices(); v++ {
+				c, err := w.CommunityOf(v)
+				if err != nil {
+					t.Fatalf("community of %d: %v", v, err)
+				}
+				if prev, ok := rep[m[v]]; ok && prev != c {
+					t.Fatalf("community %d has labels %d and %d", m[v], prev, c)
+				}
+				rep[m[v]] = c
+			}
+		})
+	}
+}
+
+// TestWorldNeighborhood checks the merged adjacency answer against the
+// input graph, before and after updates.
+func TestWorldNeighborhood(t *testing.T) {
+	g := fixtureGraph(t)
+	w := newWorld(t, g, Options{P: 2})
+	want := make(map[int]map[int]float64)
+	for _, e := range g.Edges() {
+		if want[e.U] == nil {
+			want[e.U] = make(map[int]float64)
+		}
+		if want[e.V] == nil {
+			want[e.V] = make(map[int]float64)
+		}
+		want[e.U][e.V] += e.W
+		want[e.V][e.U] += e.W
+	}
+	check := func(v int) {
+		t.Helper()
+		arcs, err := w.Neighborhood(v)
+		if err != nil {
+			t.Fatalf("neighborhood %d: %v", v, err)
+		}
+		if len(arcs) != len(want[v]) {
+			t.Fatalf("vertex %d: %d arcs, want %d (%v)", v, len(arcs), len(want[v]), arcs)
+		}
+		for _, a := range arcs {
+			if want[v][a.To] != a.W {
+				t.Fatalf("vertex %d arc to %d: weight %g, want %g", v, a.To, a.W, want[v][a.To])
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		check(v)
+	}
+	if _, err := w.Update([]Op{{U: 0, V: 17, W: 2.5}, {U: 3, V: 4, Del: true}}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	want[0][17], want[17][0] = 2.5, 2.5
+	delete(want[3], 4)
+	delete(want[4], 3)
+	for _, v := range []int{0, 3, 4, 17} {
+		check(v)
+	}
+}
+
+// TestWorldLedgerValidation exercises the driver-side edge ledger: deletes
+// of absent edges and bad ops are rejected atomically, before any rank
+// sees the batch.
+func TestWorldLedgerValidation(t *testing.T) {
+	g := fixtureGraph(t)
+	w := newWorld(t, g, Options{P: 2})
+	before := w.Stats()
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"delete-absent", []Op{{U: 0, V: 29, Del: true}}},
+		{"delete-twice", []Op{{U: 0, V: 1, Del: true}, {U: 0, V: 1, Del: true}}},
+		{"self-loop", []Op{{U: 3, V: 3, W: 1}}},
+		{"bad-weight", []Op{{U: 0, V: 29, W: -1}}},
+		{"out-of-range", []Op{{U: 0, V: 30, W: 1}}},
+		{"mixed-bad", []Op{{U: 0, V: 29, W: 1}, {U: 1, V: 1, W: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := w.Update(tc.ops); err == nil {
+			t.Errorf("%s: update succeeded, want error", tc.name)
+		}
+	}
+	after := w.Stats()
+	if after.Batches != before.Batches || after.Edges != before.Edges {
+		t.Fatalf("rejected updates mutated state: %+v -> %+v", before, after)
+	}
+	// Within-batch sequencing: insert then delete of the same new edge is
+	// valid and nets out to no edge.
+	if _, err := w.Update([]Op{{U: 0, V: 29, W: 1}, {U: 0, V: 29, Del: true}}); err != nil {
+		t.Fatalf("insert+delete batch: %v", err)
+	}
+	if got := w.Stats().Edges; got != before.Edges {
+		t.Fatalf("edges %d after net-zero batch, want %d", got, before.Edges)
+	}
+}
+
+// TestGoldenProtocol replays testdata/script.txt through the line protocol
+// for every world size and both partitionings, and pins the full response
+// stream. Regenerate with -update-golden.
+func TestGoldenProtocol(t *testing.T) {
+	script, err := os.ReadFile(filepath.Join("testdata", "script.txt"))
+	if err != nil {
+		t.Fatalf("read script: %v", err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		for _, kind := range []partition.Kind{partition.Delegate, partition.OneD} {
+			name := fmt.Sprintf("p%d_%s", p, kind)
+			t.Run(name, func(t *testing.T) {
+				g := fixtureGraph(t)
+				// The fixture graph is tiny, so any batch touches a big
+				// fraction of it; lift the touch threshold so the goldens
+				// exercise the incremental path, with the quality-drift
+				// threshold left to trigger the full-solve fallback.
+				w := newWorld(t, g, Options{
+					P:           p,
+					AutoResolve: true,
+					Core: core.Options{
+						Partitioning: kind,
+						DriftQ:       0.02,
+						DriftTouched: 0.95,
+					},
+				})
+				var out strings.Builder
+				if err := w.Serve(strings.NewReader(string(script)), &out); err != nil {
+					t.Fatalf("serve: %v", err)
+				}
+				path := filepath.Join("testdata", "golden_"+name+".txt")
+				if *updateGolden {
+					if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+						t.Fatalf("write golden: %v", err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read golden (run with -update-golden to create): %v", err)
+				}
+				if out.String() != string(want) {
+					t.Errorf("protocol stream diverged from %s:\ngot:\n%swant:\n%s", path, out.String(), want)
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolErrors pins the error surface of the line protocol.
+func TestProtocolErrors(t *testing.T) {
+	g := fixtureGraph(t)
+	w := newWorld(t, g, Options{P: 2})
+	for _, tc := range []struct{ line, wantPrefix string }{
+		{"", ""},
+		{"# comment", ""},
+		{"frobnicate 3", `error: unknown command "frobnicate"`},
+		{"community x", `error: community: bad vertex "x"`},
+		{"community 99", "error: dserver: vertex 99 out of range"},
+		{"neighborhood -1", "error: dserver: vertex -1 out of range"},
+		{"update", "error: update: empty op list"},
+		{"update 0,1,2", `error: update: op "0,1,2"`},
+		{"update +0,1", `error: update: op "+0,1"`},
+		{"update -0,1,2", `error: update: op "-0,1,2"`},
+		{"update +0,1,zap", `error: update: op "+0,1,zap": bad weight`},
+		{"update -0,29", "error: dserver: op 0: delete of absent edge (0,29)"},
+	} {
+		got := w.HandleLine(tc.line)
+		if tc.wantPrefix == "" {
+			if got != "" {
+				t.Errorf("HandleLine(%q) = %q, want empty", tc.line, got)
+			}
+			continue
+		}
+		if !strings.HasPrefix(got, tc.wantPrefix) {
+			t.Errorf("HandleLine(%q) = %q, want prefix %q", tc.line, got, tc.wantPrefix)
+		}
+	}
+}
+
+// TestWorldSoak drives concurrent tenants against one resident world —
+// mixed queries and updates — under the race detector, with the comm
+// conformance suite's watchdog and goroutine-census idioms. Each tenant
+// churns a private pool of extra edges (insert then delete), so tenant
+// batches never invalidate each other's ledger view.
+func TestWorldSoak(t *testing.T) {
+	const (
+		tenants = 5
+		rounds  = 25
+	)
+	baseline := runtime.NumGoroutine()
+	g := fixtureGraph(t)
+	w, err := New(g, Options{P: 4, AutoResolve: true})
+	if err != nil {
+		t.Fatalf("dserver.New: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		var wg sync.WaitGroup
+		errs := make([]error, tenants)
+		for tn := 0; tn < tenants; tn++ {
+			wg.Add(1)
+			go func(tn int) {
+				defer wg.Done()
+				errs[tn] = soakTenant(w, g.NumVertices(), tn)
+			}(tn)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("soak: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("watchdog: soak still running after 2m\n%s", buf[:n])
+	}
+
+	s := w.Stats()
+	if s.Batches < tenants*rounds {
+		t.Errorf("only %d update batches recorded, want >= %d", s.Batches, tenants*rounds)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// soakTenant runs one tenant's mixed query/update loop. The tenant's extra
+// edges connect vertex pairs reserved to it (disjoint across tenants and
+// absent from the ring-of-cliques base graph), inserted and deleted in
+// strict alternation so the shared ledger always agrees with the tenant's
+// view no matter how the world interleaves tenants.
+func soakTenant(w *World, n, tn int) error {
+	rng := rand.New(rand.NewSource(int64(1000 + tn)))
+	// Clique c spans vertices [6c, 6c+6); the ring links only touch offset
+	// 0, so cross-clique pairs between interior vertices (offsets 2..4)
+	// never exist in the base graph. Tenant tn churns pairs between
+	// cliques tn and (tn+2) mod 5 — the five unordered clique pairs are
+	// distinct, so no two tenants ever touch the same edge.
+	pairFor := func(i int) (int, int) {
+		u := tn*6 + 2 + i%3
+		v := ((tn+2)%5)*6 + 2 + (i/3)%3
+		return u, v
+	}
+	held := make(map[int]bool)
+	const rounds = 25
+	for r := 0; r < rounds; r++ {
+		i := rng.Intn(9)
+		u, v := pairFor(i)
+		var ops []Op
+		if held[i] {
+			ops = []Op{{U: u, V: v, Del: true}}
+		} else {
+			ops = []Op{{U: u, V: v, W: 0.5 + float64(tn)}}
+		}
+		if _, err := w.Update(ops); err != nil {
+			return fmt.Errorf("tenant %d round %d update: %w", tn, r, err)
+		}
+		held[i] = !held[i]
+
+		// Interleave queries.
+		qv := rng.Intn(n)
+		if _, err := w.CommunityOf(qv); err != nil {
+			return fmt.Errorf("tenant %d community: %w", tn, err)
+		}
+		if _, err := w.Neighborhood(qv); err != nil {
+			return fmt.Errorf("tenant %d neighborhood: %w", tn, err)
+		}
+		if _, err := w.Modularity(); err != nil {
+			return fmt.Errorf("tenant %d modularity: %w", tn, err)
+		}
+	}
+	// Drain held edges so the soak ends in a clean state.
+	for i := range held {
+		if held[i] {
+			u, v := pairFor(i)
+			if _, err := w.Update([]Op{{U: u, V: v, Del: true}}); err != nil {
+				return fmt.Errorf("tenant %d drain: %w", tn, err)
+			}
+		}
+	}
+	return nil
+}
+
+// waitGoroutines polls until the live goroutine count returns to (near)
+// baseline, failing with a dump if it does not — the leak detector from
+// the comm conformance suite.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, baseline, buf[:m])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -32,6 +32,20 @@ func (s *Subgraph) CloneForMigration() *Subgraph {
 	return &c
 }
 
+// CloneForServing extends CloneForMigration for the resident serving path
+// (internal/core's Session), whose edge updates also mutate the hub tables:
+// Build shares Hubs across every rank's part and the updates adjust HubWDeg
+// and the AdjHub shares in place, so those are detached as well. Inner
+// adjacency slices stay shared — the serving mutators copy-on-write any arc
+// list they edit.
+func (s *Subgraph) CloneForServing() *Subgraph {
+	c := s.CloneForMigration()
+	c.Hubs = append([]int(nil), s.Hubs...)
+	c.HubWDeg = append([]float64(nil), s.HubWDeg...)
+	c.AdjHub = append([][]Arc(nil), s.AdjHub...)
+	return c
+}
+
 // OwnedIndex returns the position of v in Owned, or (i, false) with the
 // insertion point i when v is not owned here.
 func (s *Subgraph) OwnedIndex(v int) (int, bool) {

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-7}"
+PR="${PR:-8}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
@@ -46,6 +46,14 @@ go test -run '^$' -bench '^BenchmarkRebalance' -benchtime "$MACRO_TIME" -benchme
 echo "== macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 go test -run '^$' -bench '^(BenchmarkDistributedLouvain|BenchmarkFig8Breakdown)$' \
     -benchtime "$MACRO_TIME" -benchmem . | tee -a "$raw" >&2
+
+echo "== serving benchmarks (-benchtime $MACRO_TIME) ==" >&2
+# The resident-service numbers (PR 8): the multi-tenant latency/throughput
+# sweep (req/s, p50-µs, p99-µs at each offered rate) and the incremental-
+# update-vs-full-resolve bracket — the incremental path's win is the PR-8
+# acceptance metric.
+go test -run '^$' -bench '^(BenchmarkServeLoad|BenchmarkIncrementalUpdate|BenchmarkFullResolve)$' \
+    -benchtime "$MACRO_TIME" -benchmem ./internal/loadgen/ | tee -a "$raw" >&2
 
 seedArgs=()
 if [ -f "$SEED" ]; then

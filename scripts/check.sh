@@ -14,14 +14,20 @@ go vet ./...
 echo "== project lint (cmd/lint) =="
 go run ./cmd/lint ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -shuffle=on =="
+# Shuffled execution order (PR 8) keeps tests honest about shared state:
+# an order dependency fails here with the seed printed for replay
+# (go test -shuffle=<seed> to reproduce).
+go test -race -shuffle=on ./...
 
 echo "== bench smoke (1 iteration per benchmark) =="
 # The rebalance macro benchmarks are the PR-7 acceptance metric: fail loudly
 # if they ever disappear from the discovery set rather than silently passing.
 go test -list '^BenchmarkRebalanceGreedy$' -run '^$' ./internal/core | grep '^BenchmarkRebalanceGreedy$' > /dev/null \
     || { echo "error: BenchmarkRebalanceGreedy missing from internal/core" >&2; exit 1; }
+# Likewise the serving-load sweep, the PR-8 acceptance metric.
+go test -list '^BenchmarkServeLoad$' -run '^$' ./internal/loadgen | grep '^BenchmarkServeLoad$' > /dev/null \
+    || { echo "error: BenchmarkServeLoad missing from internal/loadgen" >&2; exit 1; }
 go test -run '^$' -bench . -benchtime 1x -benchmem ./... > /dev/null
 
 echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
