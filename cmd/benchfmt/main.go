@@ -48,8 +48,12 @@ type Doc struct {
 // -benchmem; custom b.ReportMetric columns interleave alphabetically).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S.*)$`)
 
-// metricPair matches one "<value> <unit>" measurement within the tail.
-var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) (\S+/(?:op|s))`)
+// metricPair matches one "<value> <unit>" measurement within the tail. The
+// unit is any token: besides the standard /op and /s rates, ReportMetric
+// columns may be plain gauges (heap-MB, edges, modularity in the
+// out-of-core pipeline benchmark) — the tail contains nothing but
+// value-unit pairs, so an open unit pattern cannot misfire.
+var metricPair = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) ([^\s\d]\S*)`)
 
 func main() {
 	pr := flag.Int("pr", 0, "PR number recorded in the document")

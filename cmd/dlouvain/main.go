@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -56,8 +57,17 @@ func main() {
 		rebCool   = flag.Int("rebalance-cooldown", 0, "minimum iterations between migration events (0 = default)")
 		rebSeed   = flag.Int64("rebalance-seed", 0, "seed passed to the migration policy (0 = default)")
 		events    = flag.Bool("events", false, "stream runtime events (balance ratios, migrations, retries) to stderr")
+
+		// Out-of-core mode (docs/PERFORMANCE.md).
+		oocore   = flag.Bool("oocore", false, "partition and solve from a .sbin file's shard windows without decoding the whole graph (requires -graph FILE.sbin)")
+		memstats = flag.Bool("memstats", false, "sample the heap during the run and print its high-water mark")
 	)
 	flag.Parse()
+
+	var hw *heapWatch
+	if *memstats {
+		hw = startHeapWatch()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -71,14 +81,39 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *oocore {
+		if !strings.HasSuffix(*graphPath, ".sbin") {
+			fatal(fmt.Errorf("-oocore solves from a sharded binary; pass -graph FILE.sbin (gengraph -stream writes one)"))
+		}
+		if *seq || *showLevels {
+			fatal(fmt.Errorf("-seq and -levels need the whole graph in RAM; drop them with -oocore"))
+		}
+	}
+
 	tIngest := time.Now()
-	g, truth, err := loadGraph(*graphPath, *genSpec, *workers)
-	if err != nil {
-		fatal(err)
+	var (
+		g     *graph.Graph
+		truth graph.Membership
+		s     *graph.Sharded
+		sc    io.Closer
+		err   error
+	)
+	if *oocore {
+		s, sc, err = graph.OpenShardedFile(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: %d vertices, %d edges, %d shards (out of core)\n",
+			s.NumVertices(), s.NumArcs()/2, s.NumShards())
+	} else {
+		g, truth, err = loadGraph(*graphPath, *genSpec, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
+			g.NumVertices(), g.NumEdges(), g.MaxDegree())
 	}
 	ingestTime := time.Since(tIngest)
-	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
-		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
 	if *events {
 		trace.SetEventOutput(os.Stderr)
@@ -109,9 +144,32 @@ func main() {
 		fatal(fmt.Errorf("unknown partitioning %q", *partitioner))
 	}
 
-	res, err := core.Run(g, opt)
-	if err != nil {
-		fatal(err)
+	var res *core.Result
+	if *oocore {
+		if opt.DHigh <= 0 {
+			opt.DHigh = core.DefaultDHigh(opt.P, s.NumVertices(), s.NumArcs())
+		}
+		tPart := time.Now()
+		layout, berr := partition.BuildStreaming(s, partition.Options{
+			P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh, Workers: opt.Workers,
+		})
+		if berr != nil {
+			fatal(berr)
+		}
+		partTime := time.Since(tPart)
+		if err := sc.Close(); err != nil {
+			fatal(err)
+		}
+		res, err = core.RunLayout(layout, opt)
+		if err != nil {
+			fatal(err)
+		}
+		res.PartitionTime = partTime
+	} else {
+		res, err = core.Run(g, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("modularity: %.6f (%d communities)\n", res.Modularity, res.Membership.NumCommunities())
 	fmt.Printf("hubs: %d  stage1 iters: %d  outer levels: %d\n",
@@ -175,6 +233,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("heap profile written to %s\n", *memProfile)
+	}
+	if hw != nil {
+		fmt.Printf("heap high-water: %.1f MB\n", float64(hw.Stop())/(1<<20))
 	}
 }
 

@@ -7,6 +7,11 @@
 //	gengraph -gen lfr:n=10000,mu=0.3 -o social.bin -truth social.communities
 //	gengraph -gen rmat:scale=20 -o web.sbin -shards 16
 //	gengraph -gen rmat:scale=14 -skew 0.7 -o skewed.txt
+//	gengraph -gen rmat:scale=26 -o huge.sbin -shards 256 -stream
+//
+// -stream generates rmat directly into a sharded binary in bounded memory
+// (one shard's arcs at a time), bit-identical to the in-RAM path; it
+// requires an rmat spec and a .sbin output.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		truthPath = flag.String("truth", "", "write the planted membership here (LFR/SBM/caveman only)")
 		shards    = flag.Int("shards", 16, "shard count for .sbin output (readers decode shards concurrently)")
 		skew      = flag.Float64("skew", 0, "rmat only: quadrant skew in (0,1); 0.57 = Graph500 defaults (see gen.SetSkew)")
+		stream    = flag.Bool("stream", false, "rmat + .sbin only: generate out of core, holding one shard's arcs at a time")
 	)
 	flag.Parse()
 	if *spec == "" || *outPath == "" {
@@ -43,6 +49,26 @@ func main() {
 		}
 		genSpec = fmt.Sprintf("%s%sskew=%g", genSpec, sep, *skew)
 	}
+	if *stream {
+		if !strings.HasSuffix(*outPath, ".sbin") {
+			fatal(fmt.Errorf("-stream writes sharded binaries; output %q must end in .sbin", *outPath))
+		}
+		cfg, err := gen.ParseRMATSpec(genSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if *truthPath != "" {
+			fatal(fmt.Errorf("generator %q has no planted ground truth", *spec))
+		}
+		sg, err := gen.StreamRMAT(cfg, *outPath, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d vertices, %d edges (%d shards, streamed)\n",
+			*outPath, sg.Vertices, sg.Arcs/2, sg.Shards)
+		return
+	}
+
 	g, truth, err := gen.ParseSpec(genSpec)
 	if err != nil {
 		fatal(err)
@@ -53,7 +79,9 @@ func main() {
 	}
 	switch {
 	case strings.HasSuffix(*outPath, ".sbin"):
-		err = graph.WriteBinarySharded(f, g, *shards)
+		// v2 run-codes the weights (falling back to v1 past 255 distinct
+		// values); every reader negotiates the version by magic.
+		err = graph.WriteBinaryShardedV2(f, g, *shards)
 	case strings.HasSuffix(*outPath, ".bin"):
 		err = graph.WriteBinary(f, g)
 	case strings.HasSuffix(*outPath, ".metis"):

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -27,20 +28,44 @@ func main() {
 		procsArg  = flag.String("procs", "64,256,1024", "comma-separated processor counts")
 		dhigh     = flag.Int("dhigh", 0, "hub degree threshold (0 = 2× average degree)")
 		workers   = flag.Int("workers", 0, "workers for parallel ingest and partitioning (0 = automatic, 1 = serial; results are identical)")
+		oocore    = flag.Bool("oocore", false, "partition from a .sbin file's shard windows without decoding the whole graph (requires -graph FILE.sbin)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *genSpec, *workers)
-	if err != nil {
-		fatal(err)
+	var (
+		g   *graph.Graph
+		s   *graph.Sharded
+		err error
+	)
+	var n int
+	var arcs int64
+	if *oocore {
+		if !strings.HasSuffix(*graphPath, ".sbin") {
+			fatal(fmt.Errorf("-oocore reads a sharded binary; pass -graph FILE.sbin"))
+		}
+		var sc io.Closer
+		s, sc, err = graph.OpenShardedFile(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer sc.Close()
+		n, arcs = s.NumVertices(), s.NumArcs()
+		fmt.Printf("graph: %d vertices, %d edges, %d shards, avg degree %.1f (out of core)\n\n",
+			n, arcs/2, s.NumShards(), float64(arcs)/float64(n))
+	} else {
+		g, err = loadGraph(*graphPath, *genSpec, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		n, arcs = g.NumVertices(), g.NumArcs()
+		fmt.Printf("graph: %d vertices, %d edges, max degree %d, avg degree %.1f\n\n",
+			g.NumVertices(), g.NumEdges(), g.MaxDegree(),
+			float64(arcs)/float64(n))
 	}
-	fmt.Printf("graph: %d vertices, %d edges, max degree %d, avg degree %.1f\n\n",
-		g.NumVertices(), g.NumEdges(), g.MaxDegree(),
-		float64(g.NumArcs())/float64(g.NumVertices()))
 
 	threshold := *dhigh
 	if threshold <= 0 {
-		threshold = 2 * int(g.NumArcs()) / g.NumVertices()
+		threshold = 2 * int(arcs) / n
 	}
 
 	var procs []int
@@ -56,7 +81,14 @@ func main() {
 		"p", "kind", "min edges", "med edges", "max edges", "W", "max ghosts", "hubs")
 	for _, p := range procs {
 		for _, kind := range []partition.Kind{partition.OneD, partition.Delegate} {
-			l, err := partition.Build(g, partition.Options{P: p, Kind: kind, DHigh: threshold, Workers: *workers})
+			opt := partition.Options{P: p, Kind: kind, DHigh: threshold, Workers: *workers}
+			var l *partition.Layout
+			var err error
+			if *oocore {
+				l, err = partition.BuildStreaming(s, opt)
+			} else {
+				l, err = partition.Build(g, opt)
+			}
 			if err != nil {
 				fatal(err)
 			}

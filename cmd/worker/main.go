@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -31,6 +32,7 @@ func main() {
 		addrList  = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
 		graphPath = flag.String("graph", "", "path to a graph file (.txt/.bin/.sbin; all workers must use the same input)")
 		genSpec   = flag.String("gen", "", "generator spec (all workers must use the same spec)")
+		oocore    = flag.Bool("oocore", false, "partition and solve out of core from a .sbin file's shard windows (all workers must pass it)")
 		heuristic   = flag.String("heuristic", "enhanced", "convergence heuristic: enhanced|simple|strict")
 		workers     = flag.Int("workers", 0, "intra-rank workers for ingest and the parallel kernels (0 = automatic, 1 = serial; results are identical)")
 		partitioner = flag.String("partitioning", "delegate", "partitioning: delegate|1d (all workers must agree)")
@@ -59,7 +61,20 @@ func main() {
 		fatal(fmt.Errorf("-rank %d out of range for %d addresses", *rank, len(addrs)))
 	}
 	tIngest := time.Now()
-	g, _, err := loadGraph(*graphPath, *genSpec, *workers)
+	var (
+		g   *graph.Graph
+		s   *graph.Sharded
+		sc  io.Closer
+		err error
+	)
+	if *oocore {
+		if !strings.HasSuffix(*graphPath, ".sbin") {
+			fatal(fmt.Errorf("-oocore solves from a sharded binary; pass -graph FILE.sbin"))
+		}
+		s, sc, err = graph.OpenShardedFile(*graphPath)
+	} else {
+		g, _, err = loadGraph(*graphPath, *genSpec, *workers)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -97,7 +112,25 @@ func main() {
 		fatal(fmt.Errorf("unknown heuristic %q", *heuristic))
 	}
 
-	res, err := core.RunRank(ep, g, opt)
+	var res *core.RankResult
+	if *oocore {
+		// Every worker derives the same threshold and runs the same
+		// deterministic streaming build, then keeps only its own part — no
+		// rank ever holds the whole graph.
+		opt.DHigh = core.DefaultDHigh(opt.P, s.NumVertices(), s.NumArcs())
+		layout, berr := partition.BuildStreaming(s, partition.Options{
+			P: opt.P, Kind: opt.Partitioning, DHigh: opt.DHigh, Workers: *workers,
+		})
+		if berr != nil {
+			fatal(berr)
+		}
+		if err := sc.Close(); err != nil {
+			fatal(err)
+		}
+		res, err = core.RunRankLayout(ep, layout.Parts[*rank], opt)
+	} else {
+		res, err = core.RunRank(ep, g, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -118,7 +151,13 @@ func main() {
 		return
 	}
 	fmt.Printf("times: ingest %v, stage1 %v, stage2 %v\n", ingestTime, res.Stage1Time, res.Stage2Time)
-	membership := make(graph.Membership, g.NumVertices())
+	nGlobal := 0
+	if g != nil {
+		nGlobal = g.NumVertices()
+	} else {
+		nGlobal = s.NumVertices()
+	}
+	membership := make(graph.Membership, nGlobal)
 	var workMax, workSum int64
 	for _, piece := range pieces {
 		rd := wire.NewReader(piece)
@@ -139,8 +178,13 @@ func main() {
 	}
 	k := membership.Normalize()
 	fmt.Printf("distributed run over %d TCP workers complete\n", len(addrs))
-	fmt.Printf("modularity: %.6f (%d communities), verified %.6f\n",
-		res.Modularity, k, graph.Modularity(g, membership))
+	if g != nil {
+		fmt.Printf("modularity: %.6f (%d communities), verified %.6f\n",
+			res.Modularity, k, graph.Modularity(g, membership))
+	} else {
+		// Out of core there is no in-RAM graph to recompute Q against.
+		fmt.Printf("modularity: %.6f (%d communities)\n", res.Modularity, k)
+	}
 	balance := 0.0
 	if workSum > 0 {
 		balance = float64(workMax) * float64(len(addrs)) / float64(workSum)

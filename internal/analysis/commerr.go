@@ -74,6 +74,13 @@ var graphIOOps = map[string]bool{
 	"ReadBinary": true, "ReadBinarySharded": true, "ReadMETIS": true,
 	"WriteEdgeList": true, "WriteBinary": true, "WriteBinarySharded": true,
 	"WriteMETIS": true, "OpenSharded": true, "ReadVertexRange": true,
+	// Out-of-core layer (PR 9): windowed decode, mmap open, and the v2
+	// compressed writer. A window decode error dropped mid-stream means a
+	// silently truncated partition; the typed-callee check pins these to
+	// the graph package, so io.ReadAll and friends are untouched.
+	"ReadAll": true, "ReadWindow": true, "Window": true,
+	"NeighborsOf": true, "OpenShardedFile": true, "OpenMmap": true,
+	"WriteBinaryShardedV2": true,
 }
 
 // graphPkgSuffix identifies the graph package by import-path suffix.

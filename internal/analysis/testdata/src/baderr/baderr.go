@@ -131,6 +131,57 @@ func DropSeqMigration(c comm.Comm, out [][]byte) [][]byte {
 	return in
 }
 
+// DropV2Write drops the compressed sharded writer's error (out-of-core
+// layer): a truncated v2 .sbin poisons every later streaming run.
+func DropV2Write(w io.Writer, g *graph.Graph) {
+	graph.WriteBinaryShardedV2(w, g, 8) // want commerr
+}
+
+// DropWindowDecode blanks a shard window decode error — the streaming
+// partitioner would silently build from a truncated window.
+func DropWindowDecode(s *graph.Sharded) *graph.Window {
+	w, _ := s.ReadWindow(0) // want commerr
+	return w
+}
+
+// DropReadAll blanks the whole-file decode error of the windowed reader.
+func DropReadAll(s *graph.Sharded) *graph.Graph {
+	g, _ := s.ReadAll(2) // want commerr
+	return g
+}
+
+// DropCachedWindow drops the LRU reader's decode error in a statement.
+func DropCachedWindow(r *graph.WindowReader) {
+	r.Window(1) // want commerr
+}
+
+// DropNeighbors blanks the per-vertex windowed lookup's error.
+func DropNeighbors(r *graph.WindowReader) []int32 {
+	ts, _, _ := r.NeighborsOf(7) // want commerr
+	return ts
+}
+
+// DropMmapOpen blanks the mmap open error and dereferences a nil view.
+func DropMmapOpen(path string) *graph.MappedFile {
+	m, _ := graph.OpenMmap(path) // want commerr
+	return m
+}
+
+// DropShardedFileOpen drops the one-call open-and-map error.
+func DropShardedFileOpen(path string) {
+	graph.OpenShardedFile(path) // want commerr
+}
+
+// HandledOocoreOK is the control case for the out-of-core layer: ReadAll
+// on a plain io.Reader is NOT graph IO and must not be flagged.
+func HandledOocoreOK(r io.Reader, s *graph.Sharded) error {
+	if _, err := io.ReadAll(r); err != nil {
+		return err
+	}
+	_, err := s.ReadWindow(0)
+	return err
+}
+
 // DropWorkReduce blanks the fused stats+work reduction's error.
 func DropWorkReduce(c comm.Comm, work []int64) comm.IterStats {
 	v, _ := comm.AllreduceIterStatsWork(c, comm.IterStats{}, work) // want commerr

@@ -35,3 +35,13 @@ func ChattyIngest(p *ingestPool, data []byte) {
 		fmt.Printf("chunk %d: %d bytes\n", chunk, len(data)/4) // want noprint
 	})
 }
+
+// ChattyStream mimics the out-of-core layer (PR 9) narrating shard
+// progress: a streamed generate or two-pass partition visits thousands of
+// windows, so a per-shard print is thousands of lines of library noise —
+// the cmds own the progress report, the library returns counters.
+func ChattyStream(shards int) {
+	for i := 0; i < shards; i++ {
+		fmt.Println("shard", i, "done") // want noprint
+	}
+}

@@ -42,12 +42,7 @@ func RunRank(c comm.Comm, g *graph.Graph, opt Options) (*RankResult, error) {
 	if opt.P != c.Size() {
 		return nil, fmt.Errorf("core: Options.P = %d but communicator has %d ranks", opt.P, c.Size())
 	}
-	if opt.DHigh <= 0 && g.NumVertices() > 0 {
-		opt.DHigh = opt.P
-		if floor := 4 * int(g.NumArcs()) / g.NumVertices(); floor > opt.DHigh {
-			opt.DHigh = floor
-		}
-	}
+	defaultDHigh(&opt, g.NumVertices(), g.NumArcs())
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
@@ -61,7 +56,34 @@ func RunRank(c comm.Comm, g *graph.Graph, opt Options) (*RankResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := runRank(c, layout.Parts[c.Rank()], opt)
+	return RunRankLayout(c, layout.Parts[c.Rank()], opt)
+}
+
+// RunRankLayout executes this rank's share of the algorithm from a prebuilt
+// subgraph — the out-of-core worker entry point, where every process ran
+// partition.BuildStreaming over the sharded file and kept only its own
+// part. The subgraph must be rank c.Rank() of a layout built with P =
+// c.Size() ranks, and opt.DHigh should carry the layout's threshold (the
+// deterministic partitioner makes both true on every rank by
+// construction).
+func RunRankLayout(c comm.Comm, sg *partition.Subgraph, opt Options) (*RankResult, error) {
+	if opt.P == 0 {
+		opt.P = c.Size()
+	}
+	if opt.P != c.Size() {
+		return nil, fmt.Errorf("core: Options.P = %d but communicator has %d ranks", opt.P, c.Size())
+	}
+	if sg == nil {
+		return nil, fmt.Errorf("core: RunRankLayout needs a subgraph")
+	}
+	if sg.Rank != c.Rank() {
+		return nil, fmt.Errorf("core: subgraph is rank %d's part but communicator rank is %d", sg.Rank, c.Rank())
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	out, err := runRank(c, sg, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -277,20 +277,34 @@ type rankOut struct {
 	migrated  int64 // vertices migrated world-wide (identical on every rank)
 }
 
+// DefaultDHigh is the hub-threshold default shared by every entry point.
+// The paper sets dhigh = p in a regime where p (thousands) far exceeds the
+// average degree, so hubs are a thin tail. Floor the default at four times
+// the average degree so the hub fraction stays comparably thin at small p;
+// explicit DHigh values are always honored. Out-of-core drivers call this
+// with the sharded file's counts so the streaming partitioner sees the
+// same threshold Run would derive.
+func DefaultDHigh(p, n int, arcs int64) int {
+	if p < 1 || n <= 0 {
+		return 0
+	}
+	d := p
+	if floor := 4 * int(arcs) / n; floor > d {
+		d = floor
+	}
+	return d
+}
+
+func defaultDHigh(opt *Options, n int, arcs int64) {
+	if opt.DHigh <= 0 {
+		opt.DHigh = DefaultDHigh(opt.P, n, arcs)
+	}
+}
+
 // Run executes the full distributed Louvain algorithm on g with opt.P ranks
 // simulated as goroutines over the in-process transport.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	if opt.DHigh <= 0 && opt.P >= 1 && g.NumVertices() > 0 {
-		// Default hub threshold. The paper sets dhigh = p in a regime where
-		// p (thousands) far exceeds the average degree, so hubs are a thin
-		// tail. Floor the default at four times the average degree so the hub
-		// fraction stays comparably thin at small p; explicit DHigh values
-		// are always honored.
-		opt.DHigh = opt.P
-		if floor := 4 * int(g.NumArcs()) / g.NumVertices(); floor > opt.DHigh {
-			opt.DHigh = floor
-		}
-	}
+	defaultDHigh(&opt, g.NumVertices(), g.NumArcs())
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
@@ -303,6 +317,40 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	partTime := trace.Since(t0)
+	res, err := RunLayout(layout, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.PartitionTime = partTime
+	return res, nil
+}
+
+// RunLayout executes the distributed algorithm from a prebuilt partition
+// layout — the out-of-core entry point, where the layout came from
+// partition.BuildStreaming and no in-RAM Graph exists. The Result is
+// identical to Run of the graph the layout was cut from (PartitionTime is
+// left zero; the caller timed the build). opt.P may be zero (it then
+// follows the layout) but must otherwise match; an unset DHigh inherits
+// the layout's threshold so session heuristics see the partitioner's
+// value.
+func RunLayout(layout *partition.Layout, opt Options) (*Result, error) {
+	if layout == nil || len(layout.Parts) == 0 {
+		return nil, fmt.Errorf("core: RunLayout needs a non-empty layout")
+	}
+	if opt.P == 0 {
+		opt.P = layout.P
+	}
+	if opt.P != layout.P {
+		return nil, fmt.Errorf("core: Options.P = %d but layout has %d ranks", opt.P, layout.P)
+	}
+	if opt.DHigh <= 0 {
+		opt.DHigh = layout.DHigh
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	nGlobal := layout.Parts[0].GlobalVertices
 
 	outs := make([]*rankOut, opt.P)
 	tStart := trace.Now()
@@ -320,8 +368,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 
 	res := &Result{
-		Membership:    make(graph.Membership, g.NumVertices()),
-		PartitionTime: partTime,
+		Membership:    make(graph.Membership, nGlobal),
 		TotalTime:     totalTime,
 		CommStats:     stats,
 		HubCount:      len(layout.Hubs),
@@ -364,7 +411,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.TrackLevels && len(outs[0].levels) > 0 {
 		nLevels := len(outs[0].levels)
 		for l := 0; l < nLevels; l++ {
-			m := make(graph.Membership, g.NumVertices())
+			m := make(graph.Membership, nGlobal)
 			for _, o := range outs {
 				for i, u := range o.tracked {
 					m[u] = o.levels[l][i]

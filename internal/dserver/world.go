@@ -13,9 +13,16 @@
 // back to a full solve (the quality oracle), in the same Update call when
 // AutoResolve is set.
 //
-// All public methods are safe for concurrent use; the world serializes
-// them so each replicated command reaches every rank exactly once and in
-// the same order.
+// All public methods are safe for concurrent use. Mutations (Update,
+// Resolve) serialize behind the world's write lock so each replicated
+// command reaches every rank exactly once and in the same order; queries
+// never enter the command loop at all — the driver reads each rank's
+// Session directly under that rank's read lock, so community and
+// modularity lookups on idle ranks proceed concurrently with each other
+// and even with an in-flight update that is busy on other ranks.
+// Multi-rank reads (Neighborhood, Membership) take the world's read lock
+// instead, which excludes updates and therefore sees a consistent
+// cross-rank snapshot.
 package dserver
 
 import (
@@ -73,49 +80,55 @@ type Op struct {
 
 type cmdKind int
 
+// Only mutating, collective operations flow through the command loop;
+// queries read the sessions directly.
 const (
-	cmdCommunity cmdKind = iota
-	cmdNeighborhood
-	cmdUpdate
+	cmdUpdate cmdKind = iota
 	cmdSolve
-	cmdTracked
-	cmdStats
 )
 
 type rankReply struct {
-	rank     int
-	err      error
-	res      core.UpdateResult
-	comm     int
-	ok       bool
-	arcs     []partition.Arc
-	vertices []int
-	labels   []int
-	q        float64
-	dq       float64
-	dtouch   float64
+	rank int
+	err  error
+	res  core.UpdateResult
+	q    float64
 }
 
 type command struct {
 	kind  cmdKind
-	v     int
 	ops   []core.EdgeOp
 	reply chan rankReply
 }
 
 // World is the resident service: p rank goroutines inside a comm.RunWorld,
 // plus the driver state (edge ledger, counters) guarded by mu.
+//
+// Lock order (always acquire left to right): mu → gmu → rankMu[r].
+//   - mu (RW): writers are Update/Resolve/Close; multi-rank readers
+//     (Neighborhood, Membership, Stats) hold it shared.
+//   - gmu (RW): liveness guard (failed/closed). Every direct session read
+//     holds it shared for its whole duration so shutdown — which closes
+//     the sessions — cannot begin mid-read.
+//   - rankMu[r] (RW): rank r's session state. The rank goroutine takes the
+//     write lock around each command it executes (and around the final
+//     session close); single-rank queries take the read lock, so they
+//     only ever wait on their own rank's in-flight work.
 type World struct {
 	p           int
 	n           int
 	autoResolve bool
 
-	mu     sync.Mutex
-	cmds   []chan *command
-	edges  map[uint64]float64
-	stats  Stats
+	mu    sync.RWMutex
+	cmds  []chan *command
+	edges map[uint64]float64
+	stats Stats
+
+	gmu    sync.RWMutex
 	closed bool
 	failed error // sticky: first rank error wires the world shut
+
+	rankMu   []sync.RWMutex
+	sessions []*core.Session // filled by the rank loops before ready
 
 	runErr chan error
 }
@@ -155,6 +168,8 @@ func New(g *graph.Graph, opt Options) (*World, error) {
 		autoResolve: opt.AutoResolve,
 		cmds:        make([]chan *command, p),
 		edges:       make(map[uint64]float64, g.NumEdges()),
+		rankMu:      make([]sync.RWMutex, p),
+		sessions:    make([]*core.Session, p),
 		runErr:      make(chan error, 1),
 	}
 	for _, e := range g.Edges() {
@@ -175,7 +190,9 @@ func New(g *graph.Graph, opt Options) (*World, error) {
 			// Drain the world: close the command channels so healthy ranks
 			// exit their loops, then wait for RunWorld to join.
 			w.mu.Lock()
-			w.shutdownLocked()
+			w.gmu.Lock()
+			w.shutdownGLocked()
+			w.gmu.Unlock()
 			w.mu.Unlock()
 			<-w.runErr
 			return nil, err
@@ -194,30 +211,32 @@ func (w *World) rankLoop(c comm.Comm, layout *partition.Layout, copt core.Option
 		ready <- err
 		return err
 	}
-	defer ses.Close()
+	// The close must exclude concurrent direct readers of this rank's
+	// session, exactly like a command.
+	defer func() {
+		w.rankMu[rank].Lock()
+		ses.Close()
+		w.rankMu[rank].Unlock()
+	}()
 	if err := ses.Solve(); err != nil {
 		ready <- err
 		return err
 	}
+	// Publish the session for direct driver-side reads. The ready send
+	// orders this before any query New's caller can issue.
+	w.sessions[rank] = ses
 	ready <- nil
 	for cmd := range w.cmds[rank] {
-		rep := rankReply{rank: rank, q: ses.Modularity()}
+		w.rankMu[rank].Lock()
+		rep := rankReply{rank: rank}
 		switch cmd.kind {
-		case cmdCommunity:
-			rep.comm, rep.ok = ses.CommunityOf(cmd.v)
-		case cmdNeighborhood:
-			rep.arcs = ses.NeighborhoodOf(cmd.v)
 		case cmdUpdate:
 			rep.res, rep.err = ses.ApplyUpdates(cmd.ops)
-			rep.q = ses.Modularity()
 		case cmdSolve:
 			rep.err = ses.Solve()
-			rep.q = ses.Modularity()
-		case cmdTracked:
-			rep.vertices, rep.labels = ses.Tracked()
-		case cmdStats:
-			rep.dq, rep.dtouch = ses.Drift()
 		}
+		rep.q = ses.Modularity()
+		w.rankMu[rank].Unlock()
 		cmd.reply <- rep
 		if rep.err != nil {
 			return rep.err
@@ -229,8 +248,9 @@ func (w *World) rankLoop(c comm.Comm, layout *partition.Layout, copt core.Option
 // broadcastLocked sends cmd to every rank and collects all replies in rank
 // order. Collective commands (update, solve) require this shape: every rank
 // must enter the collective, so the sends all happen before any wait.
-func (w *World) broadcastLocked(kind cmdKind, v int, ops []core.EdgeOp) ([]rankReply, error) {
-	cmd := &command{kind: kind, v: v, ops: ops, reply: make(chan rankReply, w.p)}
+// Caller holds w.mu (write).
+func (w *World) broadcastLocked(kind cmdKind, ops []core.EdgeOp) ([]rankReply, error) {
+	cmd := &command{kind: kind, ops: ops, reply: make(chan rankReply, w.p)}
 	for _, ch := range w.cmds {
 		ch <- cmd
 	}
@@ -246,21 +266,16 @@ func (w *World) broadcastLocked(kind cmdKind, v int, ops []core.EdgeOp) ([]rankR
 	if firstErr != nil {
 		// A rank that errored has left its command loop; the world cannot
 		// run further collectives. Latch the failure and drain.
+		w.gmu.Lock()
 		w.failed = firstErr
-		w.shutdownLocked()
+		w.shutdownGLocked()
+		w.gmu.Unlock()
 	}
 	return reps, firstErr
 }
 
-// askLocked sends cmd to a single rank and waits for its reply. Only valid
-// for commands that perform no collectives.
-func (w *World) askLocked(rank int, kind cmdKind, v int) rankReply {
-	cmd := &command{kind: kind, v: v, reply: make(chan rankReply, 1)}
-	w.cmds[rank] <- cmd
-	return <-cmd.reply
-}
-
-func (w *World) guardLocked() error {
+// liveGLocked reports the world's liveness. Caller holds gmu (either mode).
+func (w *World) liveGLocked() error {
 	if w.failed != nil {
 		return w.failed
 	}
@@ -270,6 +285,13 @@ func (w *World) guardLocked() error {
 	return nil
 }
 
+// guard checks liveness for a mutating caller that holds w.mu.
+func (w *World) guard() error {
+	w.gmu.RLock()
+	defer w.gmu.RUnlock()
+	return w.liveGLocked()
+}
+
 // P returns the world size.
 func (w *World) P() int { return w.p }
 
@@ -277,42 +299,47 @@ func (w *World) P() int { return w.p }
 func (w *World) NumVertices() int { return w.n }
 
 // CommunityOf returns vertex v's current community label (the representative
-// vertex of its community). The owner rank v mod p answers from memory.
+// vertex of its community), read straight from the owner rank's session
+// under that rank's read lock — it does not serialize behind updates
+// unless the owner itself is mid-command.
 func (w *World) CommunityOf(v int) (int, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
+	w.gmu.RLock()
+	defer w.gmu.RUnlock()
+	if err := w.liveGLocked(); err != nil {
 		return 0, err
 	}
 	if v < 0 || v >= w.n {
 		return 0, fmt.Errorf("dserver: vertex %d out of range [0,%d)", v, w.n)
 	}
-	rep := w.askLocked(v%w.p, cmdCommunity, v)
-	if !rep.ok {
-		return 0, fmt.Errorf("dserver: rank %d does not own vertex %d", v%w.p, v)
+	r := v % w.p
+	w.rankMu[r].RLock()
+	comm, ok := w.sessions[r].CommunityOf(v)
+	w.rankMu[r].RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("dserver: rank %d does not own vertex %d", r, v)
 	}
-	return rep.comm, nil
+	return comm, nil
 }
 
 // Neighborhood returns vertex v's current adjacency, merged across ranks
 // (a hub's arcs are sharded; a low vertex lives wholly on its owner) and
 // normalized to one arc per neighbor, sorted by target.
 func (w *World) Neighborhood(v int) ([]partition.Arc, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	w.gmu.RLock()
+	defer w.gmu.RUnlock()
+	if err := w.liveGLocked(); err != nil {
 		return nil, err
 	}
 	if v < 0 || v >= w.n {
 		return nil, fmt.Errorf("dserver: vertex %d out of range [0,%d)", v, w.n)
 	}
-	reps, err := w.broadcastLocked(cmdNeighborhood, v, nil)
-	if err != nil {
-		return nil, err
-	}
+	// Holding the world read lock excludes updates, so reading every
+	// session in turn sees one consistent cross-rank snapshot.
 	sum := make(map[int]float64)
-	for _, rep := range reps {
-		for _, a := range rep.arcs {
+	for r := 0; r < w.p; r++ {
+		for _, a := range w.sessions[r].NeighborhoodOf(v) {
 			sum[a.To] += a.W
 		}
 	}
@@ -325,35 +352,37 @@ func (w *World) Neighborhood(v int) ([]partition.Arc, error) {
 }
 
 // Modularity returns the current global modularity (replicated state; rank
-// 0 answers).
+// 0's session answers directly under its read lock).
 func (w *World) Modularity() (float64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
+	w.gmu.RLock()
+	defer w.gmu.RUnlock()
+	if err := w.liveGLocked(); err != nil {
 		return 0, err
 	}
-	return w.askLocked(0, cmdStats, 0).q, nil
+	w.rankMu[0].RLock()
+	q := w.sessions[0].Modularity()
+	w.rankMu[0].RUnlock()
+	return q, nil
 }
 
 // Membership assembles the full current membership from every rank's
 // tracked vertices, normalized to compact community IDs.
 func (w *World) Membership() (graph.Membership, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
-		return nil, err
-	}
-	reps, err := w.broadcastLocked(cmdTracked, 0, nil)
-	if err != nil {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	w.gmu.RLock()
+	defer w.gmu.RUnlock()
+	if err := w.liveGLocked(); err != nil {
 		return nil, err
 	}
 	m := make(graph.Membership, w.n)
 	for i := range m {
 		m[i] = -1
 	}
-	for _, rep := range reps {
-		for i, v := range rep.vertices {
-			m[v] = rep.labels[i]
+	for r := 0; r < w.p; r++ {
+		vertices, labels := w.sessions[r].Tracked()
+		for i, v := range vertices {
+			m[v] = labels[i]
 		}
 	}
 	for v, c := range m {
@@ -371,14 +400,14 @@ func (w *World) Membership() (graph.Membership, error) {
 func (w *World) Update(ops []Op) (UpdateOutcome, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
+	if err := w.guard(); err != nil {
 		return UpdateOutcome{}, err
 	}
 	eops, commit, err := w.stageLocked(ops)
 	if err != nil {
 		return UpdateOutcome{}, err
 	}
-	reps, err := w.broadcastLocked(cmdUpdate, 0, eops)
+	reps, err := w.broadcastLocked(cmdUpdate, eops)
 	if err != nil {
 		return UpdateOutcome{}, err
 	}
@@ -387,7 +416,7 @@ func (w *World) Update(ops []Op) (UpdateOutcome, error) {
 	w.stats.Batches++
 	w.stats.Ops += int64(len(eops))
 	if out.NeedFull && w.autoResolve {
-		if _, err := w.broadcastLocked(cmdSolve, 0, nil); err != nil {
+		if _, err := w.broadcastLocked(cmdSolve, nil); err != nil {
 			return UpdateOutcome{}, err
 		}
 		out.Full = true
@@ -403,10 +432,10 @@ func (w *World) Update(ops []Op) (UpdateOutcome, error) {
 func (w *World) Resolve() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.guardLocked(); err != nil {
+	if err := w.guard(); err != nil {
 		return err
 	}
-	if _, err := w.broadcastLocked(cmdSolve, 0, nil); err != nil {
+	if _, err := w.broadcastLocked(cmdSolve, nil); err != nil {
 		return err
 	}
 	w.stats.Full++
@@ -470,24 +499,35 @@ func (w *World) stageLocked(ops []Op) ([]core.EdgeOp, func(), error) {
 
 // Stats returns a snapshot of the serving counters.
 func (w *World) Stats() Stats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	return w.stats
 }
 
+// refreshStatsLocked re-reads rank 0's replicated scalars. Caller holds
+// w.mu (write), so the ranks are quiescent.
 func (w *World) refreshStatsLocked() {
-	rep := w.askLocked(0, cmdStats, 0)
-	w.stats.Modularity = rep.q
-	w.stats.DriftQ = rep.dq
-	w.stats.DriftTouch = rep.dtouch
+	w.gmu.RLock()
+	live := w.liveGLocked() == nil
+	w.gmu.RUnlock()
+	if !live {
+		return
+	}
+	w.rankMu[0].RLock()
+	ses := w.sessions[0]
+	w.stats.Modularity = ses.Modularity()
+	w.stats.DriftQ, w.stats.DriftTouch = ses.Drift()
+	w.rankMu[0].RUnlock()
 	w.stats.Edges = int64(len(w.edges))
 }
 
 // Close shuts the world down and waits for every rank to exit.
 func (w *World) Close() error {
 	w.mu.Lock()
+	w.gmu.Lock()
 	already := w.closed
-	w.shutdownLocked()
+	w.shutdownGLocked()
+	w.gmu.Unlock()
 	w.mu.Unlock()
 	if already {
 		return nil
@@ -495,7 +535,10 @@ func (w *World) Close() error {
 	return <-w.runErr
 }
 
-func (w *World) shutdownLocked() {
+// shutdownGLocked closes the command channels so the rank loops drain.
+// Caller holds gmu (write): no direct reader is mid-read, and none can
+// start before seeing closed.
+func (w *World) shutdownGLocked() {
 	if w.closed {
 		return
 	}

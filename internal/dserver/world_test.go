@@ -372,6 +372,151 @@ func soakTenant(w *World, n, tn int) error {
 	return nil
 }
 
+// TestWorldReadersBypassWorldLock pins the per-rank read-lock design:
+// single-rank queries (CommunityOf, Modularity) must answer while the
+// world's command mutex is held — they read the owner session directly and
+// never serialize behind updates. Holding w.mu here simulates a stalled
+// mutation; before the rework this deadlocked.
+func TestWorldReadersBypassWorldLock(t *testing.T) {
+	g := fixtureGraph(t)
+	w := newWorld(t, g, Options{P: 4})
+	w.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := w.CommunityOf(3); err != nil {
+			done <- err
+			return
+		}
+		_, err := w.Modularity()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("query under held world lock: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		w.mu.Unlock()
+		t.Fatal("single-rank queries serialized behind the world lock")
+	}
+	w.mu.Unlock()
+}
+
+// TestWorldConcurrentReaderSoak hammers one world with many pure-reader
+// goroutines racing a continuous updater — the race-detector soak for the
+// direct-read query paths (run under -race by scripts/check.sh). Readers
+// check answer sanity so a torn read surfaces even without the detector.
+func TestWorldConcurrentReaderSoak(t *testing.T) {
+	const (
+		readers   = 8
+		readerOps = 300
+		writerOps = 40
+	)
+	baseline := runtime.NumGoroutine()
+	g := fixtureGraph(t)
+	n := g.NumVertices()
+	w, err := New(g, Options{P: 4, AutoResolve: true})
+	if err != nil {
+		t.Fatalf("dserver.New: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		var wg sync.WaitGroup
+		errs := make([]error, readers+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Interior vertices of cliques 0 and 2 (offsets 2..4) have no
+			// base-graph edge between them; alternate insert/delete.
+			for i := 0; i < writerOps; i++ {
+				op := Op{U: 2, V: 14, W: 1.5}
+				if i%2 == 1 {
+					op = Op{U: 2, V: 14, Del: true}
+				}
+				if _, err := w.Update([]Op{op}); err != nil {
+					errs[0] = fmt.Errorf("writer op %d: %w", i, err)
+					return
+				}
+				if i%10 == 0 {
+					if err := w.Resolve(); err != nil {
+						errs[0] = fmt.Errorf("writer resolve %d: %w", i, err)
+						return
+					}
+				}
+			}
+		}()
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func(rd int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(900 + rd)))
+				fail := func(err error) { errs[1+rd] = fmt.Errorf("reader %d: %w", rd, err) }
+				for i := 0; i < readerOps; i++ {
+					v := rng.Intn(n)
+					c, err := w.CommunityOf(v)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if c < 0 || c >= n {
+						fail(fmt.Errorf("community %d of vertex %d out of range", c, v))
+						return
+					}
+					if q, err := w.Modularity(); err != nil {
+						fail(err)
+						return
+					} else if q < -1 || q > 1 {
+						fail(fmt.Errorf("modularity %g out of range", q))
+						return
+					}
+					switch i % 3 {
+					case 0:
+						if _, err := w.Neighborhood(v); err != nil {
+							fail(err)
+							return
+						}
+					case 1:
+						m, err := w.Membership()
+						if err != nil {
+							fail(err)
+							return
+						}
+						if len(m) != n {
+							fail(fmt.Errorf("membership has %d labels, want %d", len(m), n))
+							return
+						}
+					default:
+						w.Stats()
+					}
+				}
+			}(rd)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("soak: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		buf := make([]byte, 1<<20)
+		nb := runtime.Stack(buf, true)
+		t.Fatalf("watchdog: reader soak still running after 2m\n%s", buf[:nb])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
 // waitGoroutines polls until the live goroutine count returns to (near)
 // baseline, failing with a dump if it does not — the leak detector from
 // the comm conformance suite.

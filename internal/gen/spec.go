@@ -29,6 +29,21 @@ import (
 // The returned membership is the planted ground truth (nil for generators
 // without one).
 func ParseSpec(spec string) (*graph.Graph, graph.Membership, error) {
+	return parseSpec(spec, nil)
+}
+
+// ParseRMATSpec parses an `rmat:…` spec (same syntax as ParseSpec) into
+// its configuration without generating any edges — the streaming generator
+// consumes the config directly.
+func ParseRMATSpec(spec string) (RMATConfig, error) {
+	var cfg RMATConfig
+	_, _, err := parseSpec(spec, &cfg)
+	return cfg, err
+}
+
+// parseSpec does the work of ParseSpec; with wantRMAT non-nil it instead
+// stores the parsed rmat config there and builds nothing.
+func parseSpec(spec string, wantRMAT *RMATConfig) (*graph.Graph, graph.Membership, error) {
 	kind, args, _ := strings.Cut(spec, ":")
 	kv := map[string]string{}
 	if args != "" {
@@ -78,11 +93,7 @@ func ParseSpec(spec string) (*graph.Graph, graph.Membership, error) {
 		return x
 	}
 
-	var g *graph.Graph
-	var truth graph.Membership
-	var err error
-	switch kind {
-	case "rmat":
+	rmatConfig := func() RMATConfig {
 		cfg := Graph500RMAT(i("scale", 12), int64(i("seed", 1)))
 		cfg.EdgeFactor = i("ef", 16)
 		if _, hasSkew := kv["skew"]; hasSkew && firstErr == nil {
@@ -94,6 +105,26 @@ func ParseSpec(spec string) (*graph.Graph, graph.Membership, error) {
 		cfg.B = f("b", cfg.B)
 		cfg.C = f("c", cfg.C)
 		cfg.D = f("d", cfg.D)
+		return cfg
+	}
+	if wantRMAT != nil {
+		if kind != "rmat" {
+			return nil, nil, fmt.Errorf("gen: spec %q is not an rmat spec", spec)
+		}
+		cfg := rmatConfig()
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		*wantRMAT = cfg
+		return nil, nil, nil
+	}
+
+	var g *graph.Graph
+	var truth graph.Membership
+	var err error
+	switch kind {
+	case "rmat":
+		cfg := rmatConfig()
 		if firstErr == nil {
 			g, err = RMAT(cfg)
 		}

@@ -111,6 +111,11 @@ func FuzzReadBinarySharded(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		var v2 bytes.Buffer
+		if err := WriteBinaryShardedV2(&v2, g, shards); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2.Bytes())
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xa2, 0x50, 0x72, 0x47, 0xff})
@@ -154,6 +159,97 @@ func FuzzReadBinary(f *testing.F) {
 		// A successfully parsed graph must at least have sane counts.
 		if g.NumVertices() < 0 || g.NumArcs() < 0 {
 			t.Fatal("negative sizes")
+		}
+	})
+}
+
+// FuzzReadVertexRange exercises the windowed decode paths (ReadWindow and
+// ReadVertexRange, which the out-of-core pipeline lives on) against
+// arbitrary bytes — hostile headers, truncated windows, overlapping shard
+// indexes — in both format versions. The invariant: whenever the
+// whole-file decoder accepts the input, every window and vertex range must
+// decode without error to exactly the same arcs; and on rejected input the
+// windowed paths must error, never panic.
+func FuzzReadVertexRange(f *testing.F) {
+	g, err := FromEdges(8, []Edge{
+		{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}, {U: 4, V: 5, W: 2},
+		{U: 6, V: 7, W: 1}, {U: 1, V: 1, W: 3}, {U: 3, V: 6, W: 0.5},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		var v1, v2 bytes.Buffer
+		if err := WriteBinarySharded(&v1, g, shards); err != nil {
+			f.Fatal(err)
+		}
+		if err := WriteBinaryShardedV2(&v2, g, shards); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
+		f.Add(v2.Bytes())
+		// Truncated-window seed: the index survives, the payload does not.
+		f.Add(v2.Bytes()[:v2.Len()-2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xa3, 0x50, 0x72, 0x47, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenSharded(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		full, ferr := s.ReadAll(2)
+		if ferr != nil {
+			// The input fails somewhere in a payload; the windowed decoders
+			// share those validation paths and must fail cleanly too, but
+			// which shard errors first is theirs to decide.
+			for i := 0; i < s.NumShards(); i++ {
+				_, _ = s.ReadWindow(i)
+			}
+			_, _, _, _ = s.ReadVertexRange(0, s.NumVertices())
+			return
+		}
+		n := s.NumVertices()
+		for i := 0; i < s.NumShards(); i++ {
+			w, werr := s.ReadWindow(i)
+			if werr != nil {
+				t.Fatalf("ReadAll accepted but window %d rejected: %v", i, werr)
+			}
+			for u := w.Lo; u < w.Hi; u++ {
+				wantT, wantW := full.Neighbors(u)
+				gotT, gotW := w.Arcs(u)
+				if len(gotT) != len(wantT) {
+					t.Fatalf("vertex %d: window %d arcs, ReadAll %d", u, len(gotT), len(wantT))
+				}
+				for k := range wantT {
+					if gotT[k] != wantT[k] || gotW[k] != wantW[k] {
+						t.Fatalf("vertex %d arc %d: window (%d,%v), ReadAll (%d,%v)",
+							u, k, gotT[k], gotW[k], wantT[k], wantW[k])
+					}
+				}
+			}
+		}
+		for _, r := range [][2]int{{0, n}, {n / 3, n/3 + (n+2)/3}, {n - 1, n}, {0, 0}} {
+			lo, hi := r[0], r[1]
+			if lo < 0 || hi < lo || hi > n {
+				continue
+			}
+			offs, ts, _, rerr := s.ReadVertexRange(lo, hi)
+			if rerr != nil {
+				t.Fatalf("ReadAll accepted but range [%d,%d) rejected: %v", lo, hi, rerr)
+			}
+			for u := lo; u < hi; u++ {
+				wantT, _ := full.Neighbors(u)
+				gotT := ts[offs[u-lo]:offs[u-lo+1]]
+				if len(gotT) != len(wantT) {
+					t.Fatalf("range vertex %d: %d arcs, want %d", u, len(gotT), len(wantT))
+				}
+				for k := range wantT {
+					if gotT[k] != wantT[k] {
+						t.Fatalf("range vertex %d arc %d mismatch", u, k)
+					}
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,84 @@
+//go:build linux
+
+package graph
+
+// Read-only memory mapping for the out-of-core pipeline. A MappedFile
+// backs a Sharded with the page cache directly: decoders take in-place
+// byte views through Range (the byteRanger fast path in payloadBytes), so
+// shard payloads are never copied into the Go heap, and the kernel evicts
+// cold shard pages under memory pressure instead of the process OOMing.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// MappedFile is a read-only memory-mapped file. ReadAt copies out of the
+// mapping; Range returns views in place.
+type MappedFile struct {
+	f    *os.File
+	data []byte
+}
+
+// OpenMmap maps path read-only. Empty files map to an empty view.
+func OpenMmap(path string) (*MappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &MappedFile{f: f}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: mmap %s: %v", path, err)
+	}
+	return &MappedFile{f: f, data: data}, nil
+}
+
+// Size returns the mapped length in bytes.
+func (m *MappedFile) Size() int64 { return int64(len(m.data)) }
+
+// ReadAt implements io.ReaderAt by copying out of the mapping.
+func (m *MappedFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(m.data)) {
+		return 0, fmt.Errorf("graph: mmap: offset %d outside [0,%d]", off, len(m.data))
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Range returns the mapped bytes [off, off+n) without copying. The view is
+// invalid after Close.
+func (m *MappedFile) Range(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return nil, fmt.Errorf("graph: mmap: range [%d,%d) outside [0,%d]", off, off+n, len(m.data))
+	}
+	return m.data[off : off+n : off+n], nil
+}
+
+// Close unmaps and closes the file. Views returned by Range become
+// invalid.
+func (m *MappedFile) Close() error {
+	var err error
+	if m.data != nil {
+		err = syscall.Munmap(m.data)
+		m.data = nil
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

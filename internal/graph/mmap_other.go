@@ -1,0 +1,56 @@
+//go:build !linux
+
+package graph
+
+// Fallback MappedFile for platforms without the mmap path: plain pread
+// through the open file. Range allocates and copies, so decoding works
+// identically, just without the zero-copy win.
+
+import (
+	"fmt"
+	"os"
+)
+
+// MappedFile is a read-only file with the same surface as the linux
+// memory-mapped version.
+type MappedFile struct {
+	f    *os.File
+	size int64
+}
+
+// OpenMmap opens path for positioned reads.
+func OpenMmap(path string) (*MappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &MappedFile{f: f, size: st.Size()}, nil
+}
+
+// Size returns the file length in bytes.
+func (m *MappedFile) Size() int64 { return m.size }
+
+// ReadAt implements io.ReaderAt.
+func (m *MappedFile) ReadAt(p []byte, off int64) (int, error) {
+	return m.f.ReadAt(p, off)
+}
+
+// Range reads [off, off+n) into a fresh buffer.
+func (m *MappedFile) Range(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > m.size {
+		return nil, fmt.Errorf("graph: range [%d,%d) outside [0,%d]", off, off+n, m.size)
+	}
+	b := make([]byte, n)
+	if _, err := m.f.ReadAt(b, off); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close closes the file.
+func (m *MappedFile) Close() error { return m.f.Close() }

@@ -5,25 +5,43 @@ package graph
 // prepends a fixed-width index so loaders can decode shards concurrently
 // and fetch only the byte ranges covering the vertices they need.
 //
-// Layout (little-endian):
+// v1 layout (little-endian):
 //
 //	u32 magic 0x477250A2
 //	u64 n, u64 arcs, u32 shards
 //	shards × { u64 vhi, u64 payloadLen, u64 arcCount }   — the index
 //	shards × payload
 //
-// Shard s covers vertices [vhi[s-1], vhi[s]) (vhi[-1] = 0); its payload is
-// exactly WriteBinary's per-vertex encoding for those vertices (uvarint
+// Shard s covers vertices [vhi[s-1], vhi[s]) (vhi[-1] = 0); its v1 payload
+// is exactly WriteBinary's per-vertex encoding for those vertices (uvarint
 // degree, then per arc a delta-coded varint target and a fixed f64 weight).
 // Shard boundaries are chosen to balance arcs, not vertices, so hub-heavy
 // shards do not serialize the parallel decode.
 //
+// v2 adds weight compression for the (dominant) case of few distinct arc
+// weights — unit-weight R-MAT and test graphs pay 8 of their ~9-10 bytes
+// per arc for a weight that is always 1.0:
+//
+//	u32 magic 0x477250A3
+//	u64 n, u64 arcs, u32 shards
+//	u32 flags (reserved, 0), u32 dictLen (1..255)
+//	dictLen × f64                                         — weight dictionary
+//	shards × { u64 vhi, u64 payloadLen, u64 arcCount }    — the index
+//	shards × payload
+//
+// A v2 per-vertex record is: uvarint degree d, then d delta-coded varint
+// targets, then the d weights as (uvarint dictIndex, uvarint runLength)
+// pairs whose run lengths sum to d. Writers fall back to v1 when a graph
+// has more than 255 distinct weights; readers negotiate the version by
+// magic, so every .sbin consumer handles both.
+//
 // Every index field is validated against the actual input size before any
 // payload-sized allocation: Σ payloadLen must equal the bytes present, Σ
 // arcCount must equal the header arc count, vhi must be monotone and end at
-// n, and each shard must satisfy payloadLen ≥ (vhi−vlo) + 9·arcCount (a
-// degree byte per vertex, ≥ 9 bytes per arc). Hostile headers therefore
-// fail in the index check instead of demanding huge buffers.
+// n, and each shard must satisfy payloadLen ≥ (vhi−vlo) + minArcBytes ·
+// arcCount (a degree byte per vertex; ≥ 9 bytes per v1 arc, ≥ 1 byte per
+// v2 arc). Hostile headers therefore fail in the index check instead of
+// demanding huge buffers.
 
 import (
 	"bytes"
@@ -35,37 +53,130 @@ import (
 	"repro/internal/wire"
 )
 
-const shardedMagic = uint32(0x477250A2) // "GrP" + sharded version 2
+const (
+	shardedMagic   = uint32(0x477250A2) // "GrP" + sharded, raw f64 weights
+	shardedMagicV2 = uint32(0x477250A3) // "GrP" + sharded, dictionary weights
+)
 
-// shardedHeaderLen is the fixed prefix: magic + n + arcs + shard count.
+// shardedHeaderLen is the fixed v1 prefix: magic + n + arcs + shard count.
 const shardedHeaderLen = 4 + 8 + 8 + 4
+
+// shardedHeaderLenV2 is the fixed v2 prefix: v1 fields + flags + dictLen
+// (the dictionary entries follow, before the index).
+const shardedHeaderLenV2 = shardedHeaderLen + 4 + 4
 
 // shardIndexEntryLen is one index record: vhi + payloadLen + arcCount.
 const shardIndexEntryLen = 8 + 8 + 8
 
-// WriteBinarySharded writes g in the sharded binary format. Shard payloads
-// are encoded concurrently (the byte output is identical at every worker
-// count: each shard's encoding depends only on its own vertices, and shards
-// are concatenated in index order).
+// maxWeightDict caps the v2 weight dictionary; writers fall back to the v1
+// raw-f64 encoding beyond it.
+const maxWeightDict = 255
+
+// WriteBinarySharded writes g in the sharded binary format (v1: raw f64
+// weights). Shard payloads are encoded concurrently (the byte output is
+// identical at every worker count: each shard's encoding depends only on
+// its own vertices, and shards are concatenated in index order).
 func WriteBinarySharded(w io.Writer, g *Graph, shards int) error {
-	n := g.NumVertices()
-	arcs := g.NumArcs()
+	return writeSharded(w, g, shards, nil)
+}
+
+// WriteBinaryShardedV2 writes g in the compressed sharded format: targets
+// delta+varint coded as in v1, weights as runs of indexes into a per-file
+// dictionary. Unit-weight graphs shrink from ~9-10 bytes/arc to ~1-2. A
+// graph with more than 255 distinct weights is written as v1 instead — the
+// caller gets whichever format is smaller to decode, negotiated by magic.
+func WriteBinaryShardedV2(w io.Writer, g *Graph, shards int) error {
+	dict, dictIdx := weightDict(g.weights)
+	if dict == nil {
+		return writeSharded(w, g, shards, nil)
+	}
+	return writeSharded(w, g, shards, &v2Writer{dict: dict, dictIdx: dictIdx})
+}
+
+// v2Writer carries the weight dictionary of an in-flight v2 write.
+type v2Writer struct {
+	dict    []float64
+	dictIdx map[float64]int
+}
+
+// weightDict collects the distinct values of ws in first-appearance order.
+// It returns (nil, nil) when they exceed maxWeightDict, which sends the
+// writer down the v1 path. An arc-free graph gets the one-entry dictionary
+// {1} so dictLen ≥ 1 always holds.
+func weightDict(ws []float64) ([]float64, map[float64]int) {
+	dict := make([]float64, 0, 16)
+	idx := make(map[float64]int, 16)
+	for _, w := range ws {
+		if _, ok := idx[w]; ok {
+			continue
+		}
+		if len(dict) == maxWeightDict {
+			return nil, nil
+		}
+		idx[w] = len(dict)
+		dict = append(dict, w)
+	}
+	if len(dict) == 0 {
+		dict = append(dict, 1)
+		idx[1] = 0
+	}
+	return dict, idx
+}
+
+// putVertexV2 appends one vertex's v2 record: uvarint degree, delta-coded
+// varint targets, then (dictIndex, runLength) weight runs. ws == nil means
+// every arc takes dictionary index 0 (the streaming generator's case).
+func putVertexV2(buf *wire.Buffer, ts []int32, ws []float64, dictIdx map[float64]int) {
+	buf.PutUvarint(uint64(len(ts)))
+	prev := int64(0)
+	for _, t := range ts {
+		buf.PutVarint(int64(t) - prev)
+		prev = int64(t)
+	}
+	if len(ts) == 0 {
+		return
+	}
+	if ws == nil {
+		buf.PutUvarint(0)
+		buf.PutUvarint(uint64(len(ts)))
+		return
+	}
+	runIdx, runLen := dictIdx[ws[0]], 1
+	for _, w := range ws[1:] {
+		if idx := dictIdx[w]; idx != runIdx {
+			buf.PutUvarint(uint64(runIdx))
+			buf.PutUvarint(uint64(runLen))
+			runIdx, runLen = idx, 0
+		}
+		runLen++
+	}
+	buf.PutUvarint(uint64(runIdx))
+	buf.PutUvarint(uint64(runLen))
+}
+
+// shardBoundaries picks shard upper bounds that balance arcs: shard s ends
+// at the first vertex whose arc offset reaches (s+1)·arcs/shards.
+func shardBoundaries(offsets []int64, n int, arcs int64, shards int) []int {
 	if shards < 1 {
 		shards = 1
 	}
 	if shards > n && n > 0 {
 		shards = n
 	}
-	// Boundaries balance arcs across shards: shard s ends at the first
-	// vertex whose arc offset reaches s·arcs/shards.
 	vhi := make([]int, shards)
 	for s := 0; s < shards-1; s++ {
 		target := int64(s+1) * arcs / int64(shards)
-		vhi[s] = sort.Search(n, func(v int) bool { return g.offsets[v] >= target })
+		vhi[s] = sort.Search(n, func(v int) bool { return offsets[v] >= target })
 	}
-	if shards > 0 {
-		vhi[shards-1] = n
-	}
+	vhi[shards-1] = n
+	return vhi
+}
+
+func writeSharded(w io.Writer, g *Graph, shards int, v2 *v2Writer) error {
+	n := g.NumVertices()
+	arcs := g.NumArcs()
+	vhi := shardBoundaries(g.offsets, n, arcs, shards)
+	shards = len(vhi)
 
 	bufs := make([]*wire.Buffer, shards)
 	pool := par.NewPool(par.DefaultWorkers(1))
@@ -76,7 +187,17 @@ func WriteBinarySharded(w io.Writer, g *Graph, shards int) error {
 			lo = vhi[s-1]
 		}
 		hi := vhi[s]
-		buf := wire.NewBuffer(int(g.offsets[hi]-g.offsets[lo])*10 + (hi - lo))
+		shardArcs := int(g.offsets[hi] - g.offsets[lo])
+		if v2 != nil {
+			buf := wire.NewBuffer(shardArcs*3 + (hi - lo))
+			for u := lo; u < hi; u++ {
+				alo, ahi := g.offsets[u], g.offsets[u+1]
+				putVertexV2(buf, g.targets[alo:ahi], g.weights[alo:ahi], v2.dictIdx)
+			}
+			bufs[s] = buf
+			return
+		}
+		buf := wire.NewBuffer(shardArcs*10 + (hi - lo))
 		for u := lo; u < hi; u++ {
 			alo, ahi := g.offsets[u], g.offsets[u+1]
 			buf.PutUvarint(uint64(ahi - alo))
@@ -91,11 +212,22 @@ func WriteBinarySharded(w io.Writer, g *Graph, shards int) error {
 		bufs[s] = buf
 	})
 
-	hdr := wire.NewBuffer(shardedHeaderLen + shards*shardIndexEntryLen)
-	hdr.PutU32(shardedMagic)
+	hdr := wire.NewBuffer(shardedHeaderLenV2 + shards*shardIndexEntryLen + 8*maxWeightDict)
+	if v2 != nil {
+		hdr.PutU32(shardedMagicV2)
+	} else {
+		hdr.PutU32(shardedMagic)
+	}
 	hdr.PutU64(uint64(n))
 	hdr.PutU64(uint64(arcs))
 	hdr.PutU32(uint32(shards))
+	if v2 != nil {
+		hdr.PutU32(0) // flags, reserved
+		hdr.PutU32(uint32(len(v2.dict)))
+		for _, wv := range v2.dict {
+			hdr.PutF64(wv)
+		}
+	}
 	for s := 0; s < shards; s++ {
 		lo := 0
 		if s > 0 {
@@ -117,9 +249,12 @@ func WriteBinarySharded(w io.Writer, g *Graph, shards int) error {
 }
 
 // Sharded is an opened sharded graph: the validated index plus the source
-// reader. Payloads are fetched on demand by ReadAll / ReadVertexRange.
+// reader. Payloads are fetched on demand by ReadAll / ReadWindow /
+// ReadVertexRange.
 type Sharded struct {
 	r          io.ReaderAt
+	ver        int       // 1 = raw f64 weights, 2 = dictionary runs
+	dict       []float64 // v2 weight dictionary (nil for v1)
 	n          int
 	arcs       int64
 	vhi        []int   // shard s covers vertices [vhi[s-1], vhi[s])
@@ -129,8 +264,16 @@ type Sharded struct {
 	arcStart   []int64 // exclusive prefix sum of arcCount
 }
 
+// byteRanger is implemented by ReaderAts whose backing bytes are
+// addressable in place (MappedFile); Range returns a view of [off, off+n),
+// not a copy, giving shard decoders a zero-copy read path.
+type byteRanger interface {
+	Range(off, n int64) ([]byte, error)
+}
+
 // OpenSharded reads and validates the header and index of a sharded graph
-// of the given total size. No payload bytes are touched.
+// of the given total size, accepting both the v1 and v2 formats. No
+// payload bytes are touched.
 func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
 	if size < shardedHeaderLen {
 		return nil, fmt.Errorf("graph: sharded: input %d bytes, need %d for header", size, shardedHeaderLen)
@@ -140,8 +283,14 @@ func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
 		return nil, err
 	}
 	rd := wire.NewReader(hb)
-	if m := rd.U32(); m != shardedMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x (want %#x)", m, shardedMagic)
+	ver := 0
+	switch m := rd.U32(); m {
+	case shardedMagic:
+		ver = 1
+	case shardedMagicV2:
+		ver = 2
+	default:
+		return nil, fmt.Errorf("graph: bad magic %#x (want %#x or %#x)", m, shardedMagic, shardedMagicV2)
 	}
 	n := int(rd.U64())
 	arcs := int64(rd.U64())
@@ -149,21 +298,58 @@ func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
 	if n < 0 || arcs < 0 || shards < 1 {
 		return nil, fmt.Errorf("graph: sharded: corrupt header (n=%d arcs=%d shards=%d)", n, arcs, shards)
 	}
-	indexLen := int64(shards) * shardIndexEntryLen
-	payloadTotal := size - shardedHeaderLen - indexLen
-	if payloadTotal < 0 {
-		return nil, fmt.Errorf("graph: sharded: %d shards need %d index bytes, input has %d", shards, indexLen, size-shardedHeaderLen)
+	headerLen := int64(shardedHeaderLen)
+	minArcBytes := int64(9) // varint target + f64 weight
+	var dict []float64
+	if ver == 2 {
+		minArcBytes = 1 // varint target; weight runs amortize to < 1 byte
+		if size < shardedHeaderLenV2 {
+			return nil, fmt.Errorf("graph: sharded: input %d bytes, need %d for v2 header", size, shardedHeaderLenV2)
+		}
+		vb := make([]byte, shardedHeaderLenV2-shardedHeaderLen)
+		if _, err := r.ReadAt(vb, shardedHeaderLen); err != nil {
+			return nil, err
+		}
+		rd.Reset(vb)
+		flags := rd.U32()
+		dictLen := int(rd.U32())
+		if flags != 0 {
+			return nil, fmt.Errorf("graph: sharded: unsupported v2 flags %#x", flags)
+		}
+		if dictLen < 1 || dictLen > maxWeightDict {
+			return nil, fmt.Errorf("graph: sharded: weight dictionary length %d outside [1,%d]", dictLen, maxWeightDict)
+		}
+		headerLen = shardedHeaderLenV2 + 8*int64(dictLen)
+		if size < headerLen {
+			return nil, fmt.Errorf("graph: sharded: input %d bytes, need %d for %d-entry dictionary", size, headerLen, dictLen)
+		}
+		db := make([]byte, 8*dictLen)
+		if _, err := r.ReadAt(db, shardedHeaderLenV2); err != nil {
+			return nil, err
+		}
+		rd.Reset(db)
+		dict = make([]float64, dictLen)
+		for i := range dict {
+			dict[i] = rd.F64()
+		}
 	}
-	if int64(n) > payloadTotal || arcs > payloadTotal/9 {
+	indexLen := int64(shards) * shardIndexEntryLen
+	payloadTotal := size - headerLen - indexLen
+	if payloadTotal < 0 {
+		return nil, fmt.Errorf("graph: sharded: %d shards need %d index bytes, input has %d", shards, indexLen, size-headerLen)
+	}
+	if int64(n) > payloadTotal || arcs > payloadTotal/minArcBytes {
 		return nil, fmt.Errorf("graph: sharded: corrupt header (n=%d arcs=%d for %d payload bytes)", n, arcs, payloadTotal)
 	}
 	ib := make([]byte, indexLen)
-	if _, err := r.ReadAt(ib, shardedHeaderLen); err != nil {
+	if _, err := r.ReadAt(ib, headerLen); err != nil {
 		return nil, err
 	}
 	rd.Reset(ib)
 	s := &Sharded{
 		r:          r,
+		ver:        ver,
+		dict:       dict,
 		n:          n,
 		arcs:       arcs,
 		vhi:        make([]int, shards),
@@ -172,7 +358,7 @@ func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
 		arcCount:   make([]int64, shards),
 		arcStart:   make([]int64, shards+1),
 	}
-	off := shardedHeaderLen + indexLen
+	off := headerLen + indexLen
 	prevHi := 0
 	var sumLen, sumArcs int64
 	for i := 0; i < shards; i++ {
@@ -188,7 +374,7 @@ func OpenSharded(r io.ReaderAt, size int64) (*Sharded, error) {
 		if plen < 0 || plen > payloadTotal || acnt < 0 || acnt > arcs {
 			return nil, fmt.Errorf("graph: sharded: shard %d index (%d bytes, %d arcs) exceeds input (%d bytes, %d arcs)", i, plen, acnt, payloadTotal, arcs)
 		}
-		if plen < int64(hi-prevHi)+9*acnt {
+		if plen < int64(hi-prevHi)+minArcBytes*acnt {
 			return nil, fmt.Errorf("graph: sharded: shard %d index (%d vertices, %d arcs) impossible in %d bytes", i, hi-prevHi, acnt, plen)
 		}
 		s.vhi[i] = hi
@@ -222,12 +408,37 @@ func (s *Sharded) NumArcs() int64 { return s.arcs }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.vhi) }
 
+// Version returns the on-disk format version (1 or 2).
+func (s *Sharded) Version() int { return s.ver }
+
 // ShardRange returns the vertex range [lo, hi) of shard i.
 func (s *Sharded) ShardRange(i int) (lo, hi int) {
 	if i > 0 {
 		lo = s.vhi[i-1]
 	}
 	return lo, s.vhi[i]
+}
+
+// ShardArcs returns the arc count of shard i from the index.
+func (s *Sharded) ShardArcs(i int) int64 { return s.arcCount[i] }
+
+// ShardOf returns the shard covering vertex u (valid for 0 ≤ u < n).
+func (s *Sharded) ShardOf(u int) int {
+	return sort.Search(len(s.vhi), func(i int) bool { return s.vhi[i] > u })
+}
+
+// payloadBytes fetches shard i's payload, returning an in-place view when
+// the source supports zero-copy ranging (a MappedFile) and a fresh copy
+// otherwise.
+func (s *Sharded) payloadBytes(i int) ([]byte, error) {
+	if br, ok := s.r.(byteRanger); ok {
+		return br.Range(s.payloadOff[i], s.payloadLen[i])
+	}
+	data := make([]byte, s.payloadLen[i])
+	if _, err := s.r.ReadAt(data, s.payloadOff[i]); err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // ReadAll decodes the whole graph, fetching and decoding shards on up to
@@ -243,8 +454,8 @@ func (s *Sharded) ReadAll(workers int) (*Graph, error) {
 	shards := s.NumShards()
 	errs := make([]error, shards)
 	pool.ParFor(shards, func(i, _ int) {
-		data := make([]byte, s.payloadLen[i])
-		if _, err := s.r.ReadAt(data, s.payloadOff[i]); err != nil {
+		data, err := s.payloadBytes(i)
+		if err != nil {
 			errs[i] = err
 			return
 		}
@@ -285,8 +496,15 @@ func (s *Sharded) decodeShard(i int, data []byte, lo, hi int, offs []int64, base
 			}
 			prev = t
 			targets[cur] = int32(t)
-			weights[cur] = rd.F64()
+			if s.ver == 1 {
+				weights[cur] = rd.F64()
+			}
 			cur++
+		}
+		if s.ver == 2 && d > 0 {
+			if err := s.decodeWeightRuns(rd, weights[cur-int64(d):cur], u); err != nil {
+				return err
+			}
 		}
 		offs[u-lo+1] = cur
 	}
@@ -302,10 +520,35 @@ func (s *Sharded) decodeShard(i int, data []byte, lo, hi int, offs []int64, base
 	return nil
 }
 
+// decodeWeightRuns fills ws from v2 (dictIndex, runLength) pairs. The run
+// lengths must sum exactly to len(ws) and every index must be inside the
+// dictionary; hostile run tables fail here without writing out of range.
+func (s *Sharded) decodeWeightRuns(rd *wire.Reader, ws []float64, u int) error {
+	for pos := 0; pos < len(ws); {
+		idx := rd.Uvarint()
+		runLen := rd.Uvarint()
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("graph: sharded: vertex %d weight runs: %v", u, err)
+		}
+		if idx >= uint64(len(s.dict)) {
+			return fmt.Errorf("graph: sharded: vertex %d: weight index %d outside dictionary of %d", u, idx, len(s.dict))
+		}
+		if runLen < 1 || runLen > uint64(len(ws)-pos) {
+			return fmt.Errorf("graph: sharded: vertex %d: weight run %d exceeds remaining degree %d", u, runLen, len(ws)-pos)
+		}
+		w := s.dict[idx]
+		for k := 0; k < int(runLen); k++ {
+			ws[pos] = w
+			pos++
+		}
+	}
+	return nil
+}
+
 // ReadVertexRange decodes only the shards covering vertices [lo, hi) and
 // returns that range's CSR slice: offsets is rebased (len hi-lo+1 with
 // offsets[0] = 0), targets/weights hold just the range's arcs. Only the
-// covering shards' byte ranges are fetched.
+// covering shards' byte ranges are fetched, one decoded shard at a time.
 func (s *Sharded) ReadVertexRange(lo, hi int) ([]int64, []int32, []float64, error) {
 	if lo < 0 || hi < lo || hi > s.n {
 		return nil, nil, nil, fmt.Errorf("graph: sharded: vertex range [%d,%d) outside [0,%d]", lo, hi, s.n)
@@ -324,45 +567,16 @@ func (s *Sharded) ReadVertexRange(lo, hi int) ([]int64, []int32, []float64, erro
 	targets := make([]int32, 0, capArcs)
 	weights := make([]float64, 0, capArcs)
 	for i := s0; i <= s1; i++ {
-		data := make([]byte, s.payloadLen[i])
-		if _, err := s.r.ReadAt(data, s.payloadOff[i]); err != nil {
+		w, err := s.ReadWindow(i)
+		if err != nil {
 			return nil, nil, nil, err
 		}
-		slo, shi := s.ShardRange(i)
-		rd := wire.NewReader(data)
-		var seen int64
-		for u := slo; u < shi; u++ {
-			d := int(rd.Uvarint())
-			if err := rd.Err(); err != nil {
-				return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
-			}
-			if d < 0 || seen+int64(d) > s.arcCount[i] {
-				return nil, nil, nil, fmt.Errorf("graph: sharded: shard %d: degree %d at vertex %d exceeds indexed arc count %d", i, d, u, s.arcCount[i])
-			}
-			seen += int64(d)
-			keep := u >= lo && u < hi
-			prev := int64(0)
-			for k := 0; k < d; k++ {
-				t := prev + rd.Varint()
-				if t < 0 || t >= int64(s.n) || (k > 0 && t <= prev) {
-					if err := rd.Err(); err != nil {
-						return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: %v", u, err)
-					}
-					return nil, nil, nil, fmt.Errorf("graph: sharded: vertex %d: target %d out of order or range [0,%d)", u, t, s.n)
-				}
-				prev = t
-				w := rd.F64()
-				if keep {
-					targets = append(targets, int32(t))
-					weights = append(weights, w)
-				}
-			}
-			if keep {
-				offsets[u-lo+1] = int64(len(targets))
-			}
-		}
-		if err := rd.Err(); err != nil {
-			return nil, nil, nil, fmt.Errorf("graph: sharded: shard %d: %v", i, err)
+		klo, khi := max(lo, w.Lo), min(hi, w.Hi)
+		for u := klo; u < khi; u++ {
+			ts, ws := w.Arcs(u)
+			targets = append(targets, ts...)
+			weights = append(weights, ws...)
+			offsets[u-lo+1] = int64(len(targets))
 		}
 	}
 	return offsets, targets, weights, nil

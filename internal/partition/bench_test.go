@@ -1,10 +1,12 @@
 package partition
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 func BenchmarkBuild(b *testing.B) {
@@ -38,6 +40,42 @@ func BenchmarkPartitionBuild(b *testing.B) {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Build(g, Options{P: 16, Kind: Delegate, DHigh: 64, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionBuildStreaming is the PR-9 counterpart: the two-pass
+// streaming builder over shard windows of a v2 .sbin against the in-RAM
+// Build of the same scale-14 R-MAT — the cost of never materialising the
+// whole Graph. Both partitionings; streaming output is bit-identical to
+// in-RAM (TestStreamingBuildMatchesInRAM).
+func BenchmarkPartitionBuildStreaming(b *testing.B) {
+	g, err := gen.RMAT(gen.Graph500RMAT(14, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBinaryShardedV2(&buf, g, 32); err != nil {
+		b.Fatal(err)
+	}
+	s, err := graph.OpenSharded(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []Kind{Delegate, OneD} {
+		b.Run(fmt.Sprintf("%s/inram", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(g, Options{P: 16, Kind: kind, DHigh: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/stream", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildStreaming(s, Options{P: 16, Kind: kind, DHigh: 64}); err != nil {
 					b.Fatal(err)
 				}
 			}

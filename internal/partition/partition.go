@@ -161,40 +161,70 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 	isHub := make([]bool, n)
 	var hubs []int
 	if opt.Kind == Delegate {
-		if pool == nil {
-			for u := 0; u < n; u++ {
-				if g.Degree(u) >= dhigh {
-					isHub[u] = true
-					hubs = append(hubs, u)
-				}
-			}
-		} else {
-			ncV := par.NumChunks(n)
-			frag := make([][]int, ncV)
-			pool.ParFor(ncV, func(c, _ int) {
-				lo, hi := par.ChunkSpan(n, ncV, c)
-				var hs []int
-				for u := lo; u < hi; u++ {
-					if g.Degree(u) >= dhigh {
-						isHub[u] = true
-						hs = append(hs, u)
-					}
-				}
-				frag[c] = hs
-			})
-			total := 0
-			for _, f := range frag {
-				total += len(f)
-			}
-			if total > 0 {
-				hubs = make([]int, 0, total)
-				for _, f := range frag {
-					hubs = append(hubs, f...)
-				}
-			}
-		}
+		hubs = findHubs(n, dhigh, g.Degree, isHub, pool)
 	}
 
+	parts := newParts(p, n, hubs, g.WeightedDegree, pool)
+
+	assignOwned(g, parts, isHub, pool)
+
+	// Assign hub arcs. Initially each hub arc (h, v) goes to the owner of
+	// its target (co-locating delegate and target); hub→hub arcs go to a
+	// spill pool for balancing; then a correction pass moves hub arcs from
+	// overloaded to underloaded ranks.
+	if opt.Kind == Delegate && len(hubs) > 0 {
+		placeHubArcs(parts, bucketHubArcs(g, parts, hubs, isHub, pool))
+	}
+
+	finishLayout(parts, isHub, g.TotalWeight2(), pool)
+
+	return &Layout{P: p, Kind: opt.Kind, DHigh: dhigh, Hubs: hubs, Parts: parts}, nil
+}
+
+// findHubs marks and lists the vertices with degree ≥ dhigh. Per-chunk
+// lists concatenate in chunk order, so the directory is ascending exactly
+// as a serial scan produces it.
+func findHubs(n, dhigh int, degree func(u int) int, isHub []bool, pool *par.Pool) []int {
+	if pool == nil {
+		var hubs []int
+		for u := 0; u < n; u++ {
+			if degree(u) >= dhigh {
+				isHub[u] = true
+				hubs = append(hubs, u)
+			}
+		}
+		return hubs
+	}
+	ncV := par.NumChunks(n)
+	frag := make([][]int, ncV)
+	pool.ParFor(ncV, func(c, _ int) {
+		lo, hi := par.ChunkSpan(n, ncV, c)
+		var hs []int
+		for u := lo; u < hi; u++ {
+			if degree(u) >= dhigh {
+				isHub[u] = true
+				hs = append(hs, u)
+			}
+		}
+		frag[c] = hs
+	})
+	total := 0
+	for _, f := range frag {
+		total += len(f)
+	}
+	var hubs []int
+	if total > 0 {
+		hubs = make([]int, 0, total)
+		for _, f := range frag {
+			hubs = append(hubs, f...)
+		}
+	}
+	return hubs
+}
+
+// newParts allocates the per-rank subgraphs with the shared hub directory
+// and its weighted degrees (wdeg gives a vertex's global weighted degree).
+func newParts(p, n int, hubs []int, wdeg func(u int) float64, pool *par.Pool) []*Subgraph {
 	parts := make([]*Subgraph, p)
 	pool.ParFor(p, func(r, _ int) {
 		parts[r] = &Subgraph{
@@ -207,34 +237,36 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 			parts[r].HubWDeg = make([]float64, len(hubs))
 			parts[r].AdjHub = make([][]Arc, len(hubs))
 			for i, h := range hubs {
-				parts[r].HubWDeg[i] = g.WeightedDegree(h)
+				parts[r].HubWDeg[i] = wdeg(h)
 			}
 		}
 	})
+	return parts
+}
 
-	assignOwned(g, parts, isHub, pool)
-
-	// Assign hub arcs. Initially each hub arc (h, v) goes to the owner of
-	// its target (co-locating delegate and target); hub→hub arcs go to a
-	// spill pool for balancing; then a correction pass moves hub arcs from
-	// overloaded to underloaded ranks.
-	if opt.Kind == Delegate && len(hubs) > 0 {
-		spill := bucketHubArcs(g, parts, hubs, isHub, pool)
-		loads := make([]int64, p)
-		for r := 0; r < p; r++ {
-			loads[r] = parts[r].NumLocalArcs()
-		}
-		// Place spill-pool arcs on the currently least-loaded ranks.
-		for _, a := range spill {
-			r := minLoadRank(loads)
-			parts[r].AdjHub[a.hub] = append(parts[r].AdjHub[a.hub], Arc{To: a.to, W: a.w})
-			loads[r]++
-		}
-		// Correction pass: move hub→low arcs from overloaded ranks to
-		// underloaded ones until loads are within one arc of the average.
-		rebalance(parts, loads)
+// placeHubArcs places the hub→hub spill pool on the least-loaded ranks in
+// spill order, then runs the rebalance correction pass. Both passes are
+// inherently sequential greedy loops and always run serially.
+func placeHubArcs(parts []*Subgraph, spill []hubArc) {
+	p := len(parts)
+	loads := make([]int64, p)
+	for r := 0; r < p; r++ {
+		loads[r] = parts[r].NumLocalArcs()
 	}
+	for _, a := range spill {
+		r := minLoadRank(loads)
+		parts[r].AdjHub[a.hub] = append(parts[r].AdjHub[a.hub], Arc{To: a.to, W: a.w})
+		loads[r]++
+	}
+	// Correction pass: move hub→low arcs from overloaded ranks to
+	// underloaded ones until loads are within one arc of the average.
+	rebalance(parts, loads)
+}
 
+// finishLayout runs ghost discovery and subscriber construction from the
+// final arc placement; m2 is the graph's total weight 2m.
+func finishLayout(parts []*Subgraph, isHub []bool, m2 float64, pool *par.Pool) {
+	p := len(parts)
 	// Ghost discovery from the final arc placement: each rank touches only
 	// its own part, and the ghost list is sorted, so per-rank kernels are
 	// independent and deterministic.
@@ -262,7 +294,7 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 			sp.Ghosts = append(sp.Ghosts, v)
 		}
 		sort.Ints(sp.Ghosts)
-		sp.TotalWeight2 = g.TotalWeight2()
+		sp.TotalWeight2 = m2
 	})
 
 	// Subscriber lists cross rank boundaries (a ghost on rank r subscribes
@@ -279,8 +311,6 @@ func Build(g *graph.Graph, opt Options) (*Layout, error) {
 			sort.Ints(parts[r].Subscribers[v])
 		}
 	}
-
-	return &Layout{P: p, Kind: opt.Kind, DHigh: dhigh, Hubs: hubs, Parts: parts}, nil
 }
 
 // assignOwned distributes low-degree vertices (round-robin) with their full

@@ -10,13 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-8}"
+PR="${PR:-9}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
 MACRO_TIME="${MACRO_TIME:-3x}"
 COMM_TIME="${COMM_TIME:-100x}"
 INGEST_TIME="${INGEST_TIME:-5x}"
+OOCORE_TIME="${OOCORE_TIME:-1x}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -35,6 +36,18 @@ go test -run '^$' -bench '^(BenchmarkIngestEdgeList|BenchmarkIngestSharded)$' \
     -benchtime "$INGEST_TIME" -benchmem ./internal/graph/ | tee -a "$raw" >&2
 go test -run '^$' -bench '^BenchmarkPartitionBuild$' \
     -benchtime "$INGEST_TIME" -benchmem ./internal/partition/ | tee -a "$raw" >&2
+
+echo "== out-of-core benchmarks (-benchtime $INGEST_TIME / $OOCORE_TIME) ==" >&2
+# The PR-9 numbers: compressed v2 decode throughput and on-disk size
+# (file-B), the two-pass streaming partitioner against the in-RAM builder,
+# and the full streamed generate -> partition -> solve pipeline with the
+# heap high-water (heap-MB) as the acceptance metric. Set OOCORE_SCALE=23
+# for the committed >= 10^8-edge run (see EXPERIMENTS.md — ~26 min on one
+# core); the default scale-14 keeps CI fast.
+go test -run '^$' -bench '^(BenchmarkShardedV2Read|BenchmarkPartitionBuildStreaming)$' \
+    -benchtime "$INGEST_TIME" -benchmem ./internal/graph/ ./internal/partition/ | tee -a "$raw" >&2
+go test -run '^$' -bench '^BenchmarkOocorePipeline$' -timeout 12h \
+    -benchtime "$OOCORE_TIME" -benchmem . | tee -a "$raw" >&2
 
 echo "== rebalance macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 # Off/Greedy/Ideal on the planted-hub workload; sim-ms/op (cumulative

@@ -37,6 +37,24 @@ echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
 # chaos regression is reported by a step named after it.
 go test -run 'TestConformance|TestChaosMatrix' -short -count 1 ./internal/comm
 
+echo "== out-of-core heap budget =="
+# A streamed generate -> partition -> solve must stay inside the committed
+# heap budget (scripts/oocore_heap_budget, in MB). The -memstats line is
+# the HeapInuse high-water sampled every 20ms; tripping the budget means
+# the out-of-core path has started materialising whole-graph state again.
+oocore_budget_mb=$(grep -v '^#' scripts/oocore_heap_budget | head -1)
+oocore_tmp=$(mktemp -d)
+trap 'rm -rf "$oocore_tmp"' EXIT
+go build -o "$oocore_tmp/gengraph" ./cmd/gengraph
+go build -o "$oocore_tmp/dlouvain" ./cmd/dlouvain
+"$oocore_tmp/gengraph" -stream -gen rmat:scale=14,ef=8,seed=7 -shards 16 -o "$oocore_tmp/check.sbin" > /dev/null
+hw_mb=$("$oocore_tmp/dlouvain" -graph "$oocore_tmp/check.sbin" -oocore -memstats -p 2 \
+    | awk '/^heap high-water:/ {print $3}')
+[ -n "$hw_mb" ] || { echo "error: dlouvain -memstats printed no heap high-water line" >&2; exit 1; }
+awk -v hw="$hw_mb" -v budget="$oocore_budget_mb" 'BEGIN { exit !(hw+0 <= budget+0) }' \
+    || { echo "error: oocore heap high-water ${hw_mb} MB exceeds budget ${oocore_budget_mb} MB" >&2; exit 1; }
+echo "oocore heap high-water: ${hw_mb} MB (budget ${oocore_budget_mb} MB)"
+
 echo "== fuzz smoke (5s per target) =="
 # The loop below auto-discovers targets, but the sharded graph format is a
 # hard requirement of the ingest pipeline (PR 5): fail loudly if its fuzz
@@ -45,6 +63,11 @@ echo "== fuzz smoke (5s per target) =="
 # fail the go-test side under pipefail)
 go test -list '^FuzzReadBinarySharded$' ./internal/graph | grep '^FuzzReadBinarySharded$' > /dev/null \
     || { echo "error: FuzzReadBinarySharded missing from internal/graph" >&2; exit 1; }
+# The windowed decode paths are what the out-of-core pipeline (PR 9) lives
+# on: FuzzReadVertexRange cross-checks ReadWindow/ReadVertexRange against
+# the whole-file decoder in both format versions, and must stay discovered.
+go test -list '^FuzzReadVertexRange$' ./internal/graph | grep '^FuzzReadVertexRange$' > /dev/null \
+    || { echo "error: FuzzReadVertexRange missing from internal/graph" >&2; exit 1; }
 # Likewise the suppression-directive parser: every //lint:ignore in the tree
 # flows through it, so its fuzz harness must stay in the discovery set.
 go test -list '^FuzzIgnoreDirective$' ./internal/analysis | grep '^FuzzIgnoreDirective$' > /dev/null \
