@@ -125,3 +125,41 @@ func ConvertsBytes(s string) int {
 func BoxesValue(x int) {
 	sink(x) // want noalloc
 }
+
+// HistogramScatterOK is the control for the merge counting-sort shape:
+// histogram rows and output columns are caller-provided scratch, so the
+// annotated kernel only indexes.
+//
+//perf:noalloc
+func HistogramScatterOK(keys, h, out []int32) {
+	for i := range h {
+		h[i] = 0
+	}
+	for _, k := range keys {
+		h[k]++
+	}
+	sum := int32(0)
+	for i, v := range h {
+		h[i] = sum
+		sum += v
+	}
+	for _, k := range keys {
+		out[h[k]] = k
+		h[k]++
+	}
+}
+
+// HistogramPerCall builds its histogram per call — the regression the
+// pooled merge scratch exists to prevent.
+//
+//perf:noalloc
+func HistogramPerCall(keys, out []int32) {
+	h := make([]int32, 64) // want noalloc
+	for _, k := range keys {
+		h[k]++
+	}
+	for _, k := range keys {
+		h[k]--
+		out[h[k]] = k
+	}
+}

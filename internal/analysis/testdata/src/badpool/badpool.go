@@ -139,3 +139,33 @@ func IngestThenGatherOK(c comm.Comm, p *exportedPool, data []byte) ([][]byte, er
 	})
 	return comm.Allgather(c, []byte{byte(counts[0] + counts[1])})
 }
+
+// EncodeThenShipOK is the control case for the merge encode shape (PR 10):
+// per-destination parFor kernels only fill disjoint frame buffers; the
+// all-to-all that ships them runs on the main goroutine after the pool
+// drains.
+func EncodeThenShipOK(c comm.Comm, p *pool, recs []int) ([][]byte, error) {
+	frames := make([][]byte, 2)
+	p.parFor(2, func(chunk, worker int) {
+		lo, hi := chunk*len(recs)/2, (chunk+1)*len(recs)/2
+		for _, r := range recs[lo:hi] {
+			frames[chunk] = append(frames[chunk], byte(r))
+		}
+	})
+	return comm.Alltoallv(c, frames)
+}
+
+// ShipPerDestinationInTask is the tempting wrong version of the same shape:
+// issuing the exchange from inside the per-destination kernel.
+func ShipPerDestinationInTask(c comm.Comm, p *pool, frames [][]byte) error {
+	errs := make([]error, 2)
+	p.parFor(2, func(chunk, worker int) {
+		_, errs[chunk] = comm.Alltoallv(c, frames) // want collectivesym
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -351,5 +355,215 @@ func TestMergeConservesWeightAndModularity(t *testing.T) {
 	}
 	if counts[0] <= 1 || counts[0] >= g.NumVertices() {
 		t.Errorf("merge produced %d communities from %d vertices", counts[0], g.NumVertices())
+	}
+}
+
+// dumpCoarse renders every field of a coarse subgraph, with float weights
+// as raw bits, so string equality is bit-level equality of the merge
+// result (including the dense translation table the next level runs on).
+func dumpCoarse(sg *partition.Subgraph, k int, dense []int32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d rank=%d p=%d gv=%d\ndense=%v\n", k, sg.Rank, sg.P, sg.GlobalVertices, dense)
+	for i, v := range sg.Owned {
+		fmt.Fprintf(&b, "v%d wdeg=%016x", v, math.Float64bits(sg.OwnedWDeg[i]))
+		for _, a := range sg.AdjOwned[i] {
+			fmt.Fprintf(&b, " %d:%016x", a.To, math.Float64bits(a.W))
+		}
+		fmt.Fprintf(&b, " subs=%v\n", sg.Subscribers[v])
+	}
+	fmt.Fprintf(&b, "ghosts=%v\n", sg.Ghosts)
+	return b.String()
+}
+
+// TestMergeMatchesSeedCrossMatrix runs the zero-map merge back-to-back with
+// the retained seed implementation (merge_seed_test.go) on the same
+// converged stage and demands byte-identical coarse subgraphs — weights
+// compared as raw float bits — across the full configuration matrix:
+// workers {1,4} x sequential/overlapped collectives x both partitionings x
+// P {1,2,4}. For a fixed (partitioning, P) the coarse graph must also be
+// identical across engines and worker counts, per the determinism regime.
+func TestMergeMatchesSeedCrossMatrix(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(400, 0.25, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []partition.Kind{partition.Delegate, partition.OneD} {
+		for _, p := range []int{1, 2, 4} {
+			layout, err := partition.Build(g, partition.Options{P: p, Kind: kind, DHigh: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []string // per-rank dumps from the first engine config
+			for _, seq := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("kind=%d/p=%d/seq=%v/w=%d", kind, p, seq, workers)
+					opt, err := (Options{P: p, Workers: workers, DHigh: 40, Partitioning: kind, SequentialCollectives: seq}).withDefaults()
+					if err != nil {
+						t.Fatal(err)
+					}
+					dumps := make([]string, p)
+					err = comm.RunWorld(p, func(c comm.Comm) error {
+						st := newStage(c, layout.Parts[c.Rank()], opt)
+						defer st.close()
+						if _, err := st.cluster(); err != nil {
+							return err
+						}
+						seedSG, seedK, err := st.mergeSeed()
+						if err != nil {
+							return err
+						}
+						seedDump := dumpCoarse(seedSG, seedK, st.dense)
+						newSG, k, err := st.merge()
+						if err != nil {
+							return err
+						}
+						got := dumpCoarse(newSG, k, st.dense)
+						if got != seedDump {
+							t.Errorf("%s rank %d: merge() differs from seed:\nnew:\n%sseed:\n%s", name, c.Rank(), got, seedDump)
+						}
+						if !reflect.DeepEqual(newSG, seedSG) {
+							t.Errorf("%s rank %d: DeepEqual mismatch between merge() and seed subgraphs", name, c.Rank())
+						}
+						dumps[c.Rank()] = got
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if want == nil {
+						want = dumps
+					} else {
+						for r := range dumps {
+							if dumps[r] != want[r] {
+								t.Errorf("%s rank %d: coarse graph differs from first engine config of this (kind, p)", name, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergePreaggWireVolume is the wire-volume property test: over the
+// same converged stage, the key-grouped frames of the new merge must ship
+// no more collective payload bytes than the seed's one-record-per-arc
+// frames — strictly fewer on a clustered graph at P=4 — while decoding to
+// bit-identical totals. Snapshots of the process-global collective
+// counters are taken by rank 0 between double barriers, so no rank can be
+// inside either merge while a snapshot is read.
+func TestMergePreaggWireVolume(t *testing.T) {
+	g, _, err := gen.LFR(gen.DefaultLFR(400, 0.25, 93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 4
+	layout, err := partition.Build(g, partition.Options{P: p, Kind: partition.Delegate, DHigh: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (Options{P: p, DHigh: 40}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.EnableCollectiveStats(true)
+	defer trace.EnableCollectiveStats(false)
+	var seedBytes, newBytes int64
+	snap := func(c comm.Comm, into *trace.CollectiveStat) error {
+		if err := comm.Barrier(c); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			*into = trace.CollectiveTotals()
+		}
+		return comm.Barrier(c)
+	}
+	err = comm.RunWorld(p, func(c comm.Comm) error {
+		st := newStage(c, layout.Parts[c.Rank()], opt)
+		defer st.close()
+		if _, err := st.cluster(); err != nil {
+			return err
+		}
+		var t0, t1, t2 trace.CollectiveStat
+		if err := snap(c, &t0); err != nil {
+			return err
+		}
+		seedSG, _, err := st.mergeSeed()
+		if err != nil {
+			return err
+		}
+		if err := snap(c, &t1); err != nil {
+			return err
+		}
+		newSG, _, err := st.merge()
+		if err != nil {
+			return err
+		}
+		if err := snap(c, &t2); err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(seedSG.OwnedWDeg, newSG.OwnedWDeg) {
+			t.Errorf("rank %d: decoded weighted degrees differ between seed and pre-aggregated merge", c.Rank())
+		}
+		if c.Rank() == 0 {
+			seedBytes = t1.Bytes - t0.Bytes
+			newBytes = t2.Bytes - t1.Bytes
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newBytes <= 0 || seedBytes <= 0 {
+		t.Fatalf("collective counters recorded nothing: seed=%d new=%d", seedBytes, newBytes)
+	}
+	if newBytes >= seedBytes {
+		t.Errorf("pre-aggregated merge shipped %d bytes, seed shipped %d: want strictly fewer", newBytes, seedBytes)
+	}
+	t.Logf("merge wire volume: seed=%dB preagg=%dB (%.1f%% of seed)", seedBytes, newBytes, 100*float64(newBytes)/float64(seedBytes))
+}
+
+// TestMergeWideWorldSubscribers covers the p > 64 subscriber path, where
+// the per-row destination bitmask no longer fits a uint64 and the merge
+// falls back to the boolean-mark walk.
+func TestMergeWideWorldSubscribers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65-rank world under -short")
+	}
+	g, _, err := gen.Caveman(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 65
+	layout, err := partition.Build(g, partition.Options{P: p, Kind: partition.OneD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (Options{P: p, Partitioning: partition.OneD}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.RunWorld(p, func(c comm.Comm) error {
+		st := newStage(c, layout.Parts[c.Rank()], opt)
+		defer st.close()
+		if _, err := st.cluster(); err != nil {
+			return err
+		}
+		seedSG, seedK, err := st.mergeSeed()
+		if err != nil {
+			return err
+		}
+		seedDump := dumpCoarse(seedSG, seedK, st.dense)
+		newSG, k, err := st.merge()
+		if err != nil {
+			return err
+		}
+		if got := dumpCoarse(newSG, k, st.dense); got != seedDump {
+			t.Errorf("rank %d: wide-world merge differs from seed:\nnew:\n%sseed:\n%s", c.Rank(), got, seedDump)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

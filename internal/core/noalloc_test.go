@@ -49,6 +49,27 @@ func TestNoallocAnnotations(t *testing.T) {
 		adj := s.sg.AdjOwned[0]
 		cu := int(s.comm[u])
 
+		// Preallocated operands for the merge counting-sort kernels: 8
+		// records over a 4-key space, 2 chunks, ranks p=2 / rowsCap=2.
+		mx := []int32{3, 1, 2, 0, 1, 3, 0, 2}
+		my := []int32{0, 1, 2, 3, 0, 1, 2, 3}
+		mw := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		mh := make([]int32, 2*4)
+		mox := make([]int32, len(mx))
+		moy := make([]int32, len(my))
+		mow := make([]float64, len(mw))
+		mbounds := make([]int, 5)
+		histPrep := func() {
+			histCount(mx, 0, len(mx)/2, mh[:4])
+			histCount(mx, len(mx)/2, len(mx), mh[4:])
+			histOffsets(mh, 2, 4, 0, nil)
+		}
+		histPrepFused := func() {
+			histCountFused(mx, 0, len(mx)/2, 2, 2, mh[:4])
+			histCountFused(mx, len(mx)/2, len(mx), 2, 2, mh[4:])
+			histOffsets(mh, 2, 4, 0, nil)
+		}
+
 		// One driver per annotated function. hubProposal is exercised on an
 		// owned vertex's data: it only reads stage state, so any vertex with
 		// adjacency stands in for a hub.
@@ -61,6 +82,18 @@ func TestNoallocAnnotations(t *testing.T) {
 			"stage.scanCandidates":       func() { s.scanCandidates(u, cu, ku, adj, acc) },
 			"stage.bestMove":             func() { s.bestMove(u, ku, adj, acc) },
 			"stage.hubProposal":          func() { s.hubProposal(u, ku, adj, acc) },
+			"fillInt32":                  func() { fillInt32(mh, -1) },
+			"histCount":                  func() { histCount(mx, 0, len(mx), mh[:4]) },
+			"histCountFused":             func() { histCountFused(mx, 0, len(mx), 2, 2, mh[:4]) },
+			"histOffsets":                func() { histPrep(); histOffsets(mh, 2, 4, 1, mbounds) },
+			"scatterRecords": func() {
+				histPrep()
+				scatterRecords(mx, my, mw, 0, len(mx)/2, mh[:4], mox, moy, mow)
+			},
+			"scatterFused": func() {
+				histPrepFused()
+				scatterFused(mx, my, mw, 0, len(mx)/2, 2, 2, mh[:4], mox, moy, mow)
+			},
 		}
 
 		var table []string

@@ -235,7 +235,7 @@ func (s *Session) solve() (*rankOut, error) {
 	}
 	for {
 		if opt.MaxOuterLevels > 0 && out.outer >= opt.MaxOuterLevels {
-			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
+			cur, err = cs.resolveQueries(cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) })
 			if err != nil {
 				return nil, err
 			}
@@ -247,7 +247,7 @@ func (s *Session) solve() (*rankOut, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.dense[cs.comm[x]]) }, opt.SequentialCollectives)
+		cur, err = cs.resolveQueries(cur, cs.ownerOf, func(x int) int { return int(cs.dense[cs.comm[x]]) })
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +267,7 @@ func (s *Session) solve() (*rankOut, error) {
 		opt2 := opt
 		opt2.RebalanceRatio = 0
 		st2 := newStage(c, newSG, opt2)
+		st2.ms = cs.ms // successive merge levels reuse the grown scratch
 		r2, err := st2.cluster()
 		if err != nil {
 			st2.close()
@@ -284,7 +285,7 @@ func (s *Session) solve() (*rankOut, error) {
 		out.comm2NS += r2.CommSimNS
 		if r2.Q-prevQ < opt.MinGain {
 			// Keep this stage's (possibly tiny) improvement, then stop.
-			cur, err = resolveQueries(c, cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) }, opt.SequentialCollectives)
+			cur, err = cs.resolveQueries(cur, cs.ownerOf, func(x int) int { return int(cs.comm[x]) })
 			if err != nil {
 				return nil, err
 			}
@@ -760,10 +761,9 @@ func (s *Session) subscribeFor(x, y int) {
 // even when their own list is empty.
 func (s *Session) resolveNewGhosts() error {
 	st := s.st
-	labels, err := resolveQueries(s.c, s.newGhosts,
+	labels, err := st.resolveQueries(s.newGhosts,
 		func(v int) int { return v % s.p },
-		func(v int) int { return int(st.comm[v]) },
-		s.opt.SequentialCollectives)
+		func(v int) int { return int(st.comm[v]) })
 	if err != nil {
 		return err
 	}

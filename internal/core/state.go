@@ -63,8 +63,24 @@ type stage struct {
 	changed []int
 
 	// dense maps community IDs to their dense merged-graph vertex IDs;
-	// populated by merge (-1 = not mapped).
+	// populated by merge (-1 = not mapped). The backing array lives in ms
+	// and is reused across merge levels.
 	dense []int32
+
+	// ms is the merge pipeline's pooled scratch (merge.go), created lazily
+	// by the first merge and handed to the next level's stage by the
+	// session's solve loop, so successive levels reuse the grown storage.
+	ms *mergeScratch
+
+	// rqBufs/rqFrames/rqReqs/rqPos are the resolveQueries stage scratch:
+	// reply encode buffers and frame headers (the request leg uses
+	// sendScratch; replies need their own set because the request frames
+	// must stay intact while the streaming first leg is in flight), and
+	// the per-rank routed queries and their original positions.
+	rqBufs   []*wire.Buffer
+	rqFrames [][]byte
+	rqReqs   [][]int
+	rqPos    [][]int
 
 	// Intra-rank parallelism (pool.go). pool is nil on the serial path;
 	// accs holds one gain accumulator per worker (index = worker ID), so
@@ -235,6 +251,13 @@ func newStage(c comm.Comm, sg *partition.Subgraph, opt Options) *stage {
 		s.sendBufs[r] = wire.NewBuffer(0)
 	}
 	s.frames = make([][]byte, s.p)
+	s.rqBufs = make([]*wire.Buffer, s.p)
+	for r := range s.rqBufs {
+		s.rqBufs[r] = wire.NewBuffer(0)
+	}
+	s.rqFrames = make([][]byte, s.p)
+	s.rqReqs = make([][]int, s.p)
+	s.rqPos = make([][]int, s.p)
 	s.recvIn = make([][]byte, s.p)
 	s.deltaSrc = make([][]deltaRec, s.p)
 	s.reqs = make([][]int, s.p)

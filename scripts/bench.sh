@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-9}"
+PR="${PR:-10}"
 OUT="${OUT:-BENCH_${PR}.json}"
 SEED="${SEED:-scripts/bench_seed_pr${PR}.json}"
 KERNEL_TIME="${KERNEL_TIME:-50x}"
@@ -48,6 +48,14 @@ go test -run '^$' -bench '^(BenchmarkShardedV2Read|BenchmarkPartitionBuildStream
     -benchtime "$INGEST_TIME" -benchmem ./internal/graph/ ./internal/partition/ | tee -a "$raw" >&2
 go test -run '^$' -bench '^BenchmarkOocorePipeline$' -timeout 12h \
     -benchtime "$OOCORE_TIME" -benchmem . | tee -a "$raw" >&2
+
+echo "== merge benchmarks (-benchtime $MACRO_TIME) ==" >&2
+# Stage-2 distributed merge (PR 10): the seed map-of-maps implementation
+# against the zero-map counting-sort pipeline on the same converged world.
+# ns/op, allocs/op, and wire-B/op (per-rank collective payload, from the
+# trace collective counters) are the acceptance metrics.
+go test -run '^$' -bench '^BenchmarkMerge(Seed|Preagg)$' -benchtime "$MACRO_TIME" -benchmem \
+    ./internal/core/ | tee -a "$raw" >&2
 
 echo "== rebalance macro benchmarks (-benchtime $MACRO_TIME) ==" >&2
 # Off/Greedy/Ideal on the planted-hub workload; sim-ms/op (cumulative

@@ -28,6 +28,9 @@ go test -list '^BenchmarkRebalanceGreedy$' -run '^$' ./internal/core | grep '^Be
 # Likewise the serving-load sweep, the PR-8 acceptance metric.
 go test -list '^BenchmarkServeLoad$' -run '^$' ./internal/loadgen | grep '^BenchmarkServeLoad$' > /dev/null \
     || { echo "error: BenchmarkServeLoad missing from internal/loadgen" >&2; exit 1; }
+# And the merge seed-vs-preagg pair, the PR-10 acceptance metric.
+go test -list '^BenchmarkMergePreagg$' -run '^$' ./internal/core | grep '^BenchmarkMergePreagg$' > /dev/null \
+    || { echo "error: BenchmarkMergePreagg missing from internal/core" >&2; exit 1; }
 go test -run '^$' -bench . -benchtime 1x -benchmem ./... > /dev/null
 
 echo "== chaos matrix smoke (-short: seeds 1-5, both transports) =="
